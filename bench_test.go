@@ -1,0 +1,190 @@
+package paralleltape
+
+// The bench harness regenerates every exhibit of the paper's evaluation
+// section. One benchmark per table/figure:
+//
+//	go test -bench=. -benchmem                 # reduced (Quick) scale
+//	PAPERSCALE=full go test -bench=. -benchmem # full 30k-object scale
+//
+// Each benchmark executes the whole experiment (every scheme × parameter
+// point with the paper's request-stream averaging), prints the regenerated
+// table once, and reports the parallel-batch bandwidth at the experiment's
+// reference point as a custom metric (MB/s) so runs can be compared
+// numerically.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+// benchCfg selects the experiment scale: Quick by default, the paper's
+// full scale when PAPERSCALE=full.
+func benchCfg() ExperimentConfig {
+	if os.Getenv("PAPERSCALE") == "full" {
+		return DefaultExperimentConfig()
+	}
+	return QuickExperimentConfig()
+}
+
+var benchPrintOnce sync.Map
+
+// runExhibit executes experiment id b.N times, rendering its table on the
+// first execution per process and reporting the parallel-batch reference
+// bandwidth.
+func runExhibit(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchCfg()
+	var rep *ExperimentReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = RunExperiment(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, printed := benchPrintOnce.LoadOrStore(id, true); !printed {
+		fmt.Println()
+		if err := rep.Table.Render(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Reference metric: mean parallel-batch bandwidth over the exhibit's
+	// rows (table1 has no rows).
+	var sum float64
+	var n int
+	for _, r := range rep.Rows {
+		if r.Scheme == "parallel-batch" && r.Err == nil {
+			sum += r.Stats.MeanBandwidth
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n)/1e6, "PB-MB/s")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (drive/library specifications).
+func BenchmarkTable1(b *testing.B) { runExhibit(b, "table1") }
+
+// BenchmarkFig5SwitchDrives regenerates Figure 5: bandwidth vs. the number
+// of switch drives m for several Zipf α values.
+func BenchmarkFig5SwitchDrives(b *testing.B) { runExhibit(b, "fig5") }
+
+// BenchmarkFig6Alpha regenerates Figure 6: bandwidth vs. α for the three
+// schemes at ≈213 GB mean request size.
+func BenchmarkFig6Alpha(b *testing.B) { runExhibit(b, "fig6") }
+
+// BenchmarkFig7RequestSize regenerates Figure 7: bandwidth vs. average
+// request size, including the all-mounted extreme case.
+func BenchmarkFig7RequestSize(b *testing.B) { runExhibit(b, "fig7") }
+
+// BenchmarkFig8Libraries regenerates Figure 8: bandwidth vs. the number of
+// tape libraries at ≈240 GB mean request size.
+func BenchmarkFig8Libraries(b *testing.B) { runExhibit(b, "fig8") }
+
+// BenchmarkFig9Components regenerates Figure 9: the switch/seek/transfer
+// decomposition of response time at ≈160 GB mean request size.
+func BenchmarkFig9Components(b *testing.B) { runExhibit(b, "fig9") }
+
+// BenchmarkTechScaling regenerates the §6 closing remark: scheme behavior
+// under improved drive/cartridge technology.
+func BenchmarkTechScaling(b *testing.B) { runExhibit(b, "tech") }
+
+// BenchmarkRobustness regenerates the §6 robustness remark: the scheme
+// ordering under workload variations.
+func BenchmarkRobustness(b *testing.B) { runExhibit(b, "robustness") }
+
+// BenchmarkAblation quantifies the parallel-batch design choices
+// (clustering, organ-pipe alignment, zigzag balancing, cluster splitting,
+// hot-batch width) by disabling one at a time.
+func BenchmarkAblation(b *testing.B) { runExhibit(b, "ablation") }
+
+// BenchmarkStriping regenerates the §2 striping comparison: parallel batch
+// vs. RAIT-style striped placement at several stripe units.
+func BenchmarkStriping(b *testing.B) { runExhibit(b, "striping") }
+
+// BenchmarkOnline regenerates the §7 future-work study: per-epoch local
+// knowledge vs. full-knowledge placement.
+func BenchmarkOnline(b *testing.B) { runExhibit(b, "online") }
+
+// BenchmarkScheduler sweeps simulator scheduling policies (pending-queue
+// order × victim selection).
+func BenchmarkScheduler(b *testing.B) { runExhibit(b, "scheduler") }
+
+// BenchmarkSensitivity sweeps the §5.1 clustering knobs (linkage,
+// threshold) on the parallel batch placement.
+func BenchmarkSensitivity(b *testing.B) { runExhibit(b, "sensitivity") }
+
+// BenchmarkPlacementParallelBatch measures raw placement cost (clustering
+// + sublists + balancing + alignment) at the configured scale.
+func BenchmarkPlacementParallelBatch(b *testing.B) {
+	cfg := benchCfg()
+	w, err := GenerateWorkload(benchParams(cfg), cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := cfg.HW
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(hw, NewParallelBatch(cfg.M), w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateRequest measures per-request simulation cost on a
+// parallel-batch placement.
+func BenchmarkSimulateRequest(b *testing.B) {
+	cfg := benchCfg()
+	w, err := GenerateWorkload(benchParams(cfg), cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := cfg.HW
+	pl, err := Place(hw, NewParallelBatch(cfg.M), w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewSystem(hw, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := w.Requests
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Submit(&reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchParams mirrors the experiment harness's scaled workload parameters:
+// object population and request lengths scale, the predefined request
+// count stays at the paper's 300, and the object-size tail is capped
+// relative to the (possibly shrunken) cartridge.
+func benchParams(cfg ExperimentConfig) WorkloadParams {
+	p := DefaultWorkloadParams()
+	p.NumObjects = int(float64(p.NumObjects) * cfg.Scale)
+	if p.NumObjects < 200 {
+		p.NumObjects = 200
+	}
+	if cfg.Scale != 1 {
+		p.MinReqLen = int(float64(p.MinReqLen) * cfg.Scale)
+		if p.MinReqLen < 2 {
+			p.MinReqLen = 2
+		}
+		p.MaxReqLen = int(float64(p.MaxReqLen) * cfg.Scale)
+		if p.MaxReqLen < p.MinReqLen {
+			p.MaxReqLen = p.MinReqLen
+		}
+		if cap40 := cfg.HW.Capacity / 40; p.MaxObjSize > cap40 {
+			p.MaxObjSize = cap40
+		}
+	}
+	return p
+}

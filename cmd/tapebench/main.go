@@ -1,0 +1,127 @@
+// Command tapebench regenerates the paper's evaluation: Table 1 and
+// Figures 5–9, plus the technology-scaling and robustness studies and the
+// parallel-batch design ablation.
+//
+// Examples:
+//
+//	tapebench                      # everything, full paper scale
+//	tapebench -experiment fig6     # one exhibit
+//	tapebench -quick               # reduced scale (CI-sized)
+//	tapebench -experiment fig9 -csv -o fig9.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"paralleltape"
+	"paralleltape/internal/metrics"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"which exhibit to regenerate: all, table1, fig5, fig6, fig7, fig8, fig9, tech, robustness, ablation, striping, online, scheduler, sensitivity")
+		quick    = flag.Bool("quick", false, "reduced-scale configuration (fast)")
+		seed     = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+		requests = flag.Int("requests", 0, "override simulated requests per run (0 keeps the default)")
+		workers  = flag.Int("workers", 0, "parallel run workers (0 = GOMAXPROCS)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart    = flag.Bool("chart", false, "append a bandwidth bar chart to each exhibit")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		outPath  = flag.String("o", "", "write output to a file instead of stdout")
+	)
+	flag.Parse()
+
+	cfg := paralleltape.DefaultExperimentConfig()
+	if *quick {
+		cfg = paralleltape.QuickExperimentConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *requests != 0 {
+		cfg.Requests = *requests
+	}
+	cfg.Workers = *workers
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tapebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if err := run(out, *experiment, cfg, *csv, *chart, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "tapebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, experiment string, cfg paralleltape.ExperimentConfig, csv, chart, jsonOut bool) error {
+	emit := func(rep *paralleltape.ExperimentReport) error {
+		if err := rep.Err(); err != nil {
+			return err
+		}
+		if jsonOut {
+			return rep.WriteJSON(out)
+		}
+		if csv {
+			return rep.Table.RenderCSV(out)
+		}
+		if err := rep.Table.Render(out); err != nil {
+			return err
+		}
+		if chart && len(rep.Rows) > 0 {
+			var labels []string
+			var values []float64
+			for _, r := range rep.Rows {
+				label := r.Label
+				if r.Scheme != "" && r.Scheme != label {
+					label += " " + r.Scheme
+				}
+				labels = append(labels, label)
+				values = append(values, r.Stats.MeanBandwidth/1e6)
+			}
+			fmt.Fprintln(out)
+			if err := metrics.BarChart(out, "effective bandwidth (MB/s)", labels, values, 50); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(out)
+		return err
+	}
+
+	start := time.Now()
+	if experiment == "all" {
+		reps, err := paralleltape.RunAllExperiments(cfg)
+		for _, rep := range reps {
+			if e := emit(rep); e != nil {
+				return e
+			}
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		rep, err := paralleltape.RunExperiment(experiment, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(rep); err != nil {
+			return err
+		}
+	}
+	if !csv && !jsonOut {
+		fmt.Fprintf(out, "completed in %s (seed %d, %d requests/run, scale %.2f)\n",
+			time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Requests, cfg.Scale)
+	}
+	return nil
+}

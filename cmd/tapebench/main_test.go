@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"paralleltape"
+)
+
+func tinyCfg() paralleltape.ExperimentConfig {
+	cfg := paralleltape.QuickExperimentConfig()
+	cfg.Requests = 5
+	cfg.Workers = 2
+	return cfg
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig9", tinyCfg(), false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"Figure 9", "parallel-batch", "completed in"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table1", tinyCfg(), true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "parameter,value") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if strings.Contains(out, "completed in") {
+		t.Error("CSV output contains the trailer line")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig9", tinyCfg(), false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID   string `json:"id"`
+		Rows []struct {
+			Scheme        string  `json:"scheme"`
+			BandwidthMBps float64 `json:"bandwidth_mbps"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.ID != "fig9" || len(decoded.Rows) != 3 {
+		t.Errorf("decoded: %+v", decoded)
+	}
+	for _, r := range decoded.Rows {
+		if r.BandwidthMBps <= 0 {
+			t.Errorf("row %s has no bandwidth", r.Scheme)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", tinyCfg(), false, false, false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Command tapesim runs a single parallel-tape-storage simulation: it
+// generates (or loads) a workload, places it with a chosen scheme, submits
+// a stream of requests, and prints the paper's §6 metrics.
+//
+// Examples:
+//
+//	tapesim -scheme parallel-batch -m 4 -requests 200
+//	tapesim -scheme object-probability -alpha 0.7 -libraries 2
+//	tapesim -scheme cluster-probability -trace workload.json -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paralleltape"
+	"paralleltape/internal/metrics"
+	"paralleltape/internal/model"
+	"paralleltape/internal/placement"
+	"paralleltape/internal/rng"
+	"paralleltape/internal/tapesys"
+	"paralleltape/internal/units"
+	"paralleltape/internal/workload"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "parallel-batch",
+			"placement scheme: parallel-batch, object-probability, cluster-probability, round-robin, online")
+		m         = flag.Int("m", 4, "switch drives per library (parallel-batch/online)")
+		epochs    = flag.Int("epochs", 4, "arrival waves for the online scheme")
+		requests  = flag.Int("requests", 200, "number of simulated request submissions")
+		seed      = flag.Uint64("seed", 20060815, "master random seed")
+		alpha     = flag.Float64("alpha", 0.3, "Zipf request popularity skew")
+		objects   = flag.Int("objects", 30000, "object population")
+		nRequests = flag.Int("predefined", 300, "predefined request count")
+		libraries = flag.Int("libraries", 3, "number of tape libraries")
+		drives    = flag.Int("drives", 8, "drives per library")
+		tapes     = flag.Int("tapes", 80, "tapes per library")
+		capacity  = flag.String("capacity", "400GB", "cartridge capacity")
+		rate      = flag.String("rate", "80MB", "native transfer rate (bytes/s)")
+		target    = flag.String("request-size", "", "rescale object sizes to this mean request size (e.g. 213GB)")
+		trace     = flag.String("trace", "", "load workload from a JSON trace instead of generating")
+		csv       = flag.Bool("csv", false, "emit per-request metrics as CSV")
+		verbose   = flag.Bool("v", false, "print per-request lines")
+		util      = flag.Bool("utilization", false, "print drive/robot utilization after the run")
+		describe  = flag.Bool("describe", false, "print placement diagnostics before simulating")
+		estimate  = flag.Bool("estimate", false, "print the analytic (no-simulation) estimate alongside")
+		traceN    = flag.Int("events", 0, "print the first N simulator events")
+	)
+	flag.Parse()
+
+	if err := run(*schemeName, *m, *epochs, *requests, *seed, *alpha, *objects, *nRequests,
+		*libraries, *drives, *tapes, *capacity, *rate, *target, *trace, *csv, *verbose,
+		*util, *estimate, *describe, *traceN); err != nil {
+		fmt.Fprintln(os.Stderr, "tapesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemeName string, m, epochs, requests int, seed uint64, alpha float64,
+	objects, nRequests, libraries, drives, tapes int,
+	capacityStr, rateStr, targetStr, trace string, csv, verbose, util, estimate, describe bool,
+	traceN int) error {
+
+	hw := paralleltape.DefaultHardware()
+	hw.Libraries = libraries
+	hw.DrivesPerLib = drives
+	hw.TapesPerLib = tapes
+	var err error
+	if hw.Capacity, err = units.ParseBytes(capacityStr); err != nil {
+		return err
+	}
+	rateBytes, err := units.ParseBytes(rateStr)
+	if err != nil {
+		return err
+	}
+	hw.TransferRate = float64(rateBytes)
+	if err := hw.Validate(); err != nil {
+		return err
+	}
+
+	var w *model.Workload
+	if trace != "" {
+		f, err := os.Open(trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if w, err = model.ReadJSON(f); err != nil {
+			return err
+		}
+	} else {
+		p := paralleltape.DefaultWorkloadParams()
+		p.NumObjects = objects
+		p.NumRequests = nRequests
+		p.Alpha = alpha
+		if w, err = paralleltape.GenerateWorkload(p, seed); err != nil {
+			return err
+		}
+	}
+	if targetStr != "" {
+		t, err := units.ParseBytes(targetStr)
+		if err != nil {
+			return err
+		}
+		if _, err := paralleltape.TargetMeanRequestBytes(w, float64(t)); err != nil {
+			return err
+		}
+	}
+
+	var scheme placement.Scheme
+	switch schemeName {
+	case "parallel-batch":
+		scheme = placement.ParallelBatch{M: m}
+	case "object-probability":
+		scheme = placement.ObjectProbability{}
+	case "cluster-probability":
+		scheme = placement.ClusterProbability{}
+	case "round-robin":
+		scheme = placement.RoundRobin{}
+	case "online":
+		scheme = placement.Online{Epochs: epochs, M: m}
+	default:
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+
+	stats := w.ComputeStats()
+	fmt.Printf("workload: %d objects (%s total), %d predefined requests, mean request %s\n",
+		stats.NumObjects, units.FormatBytesSI(stats.TotalBytes), stats.NumRequests,
+		units.FormatBytesSI(int64(stats.MeanRequestBytes)))
+	fmt.Printf("system:   %d libraries x %d drives x %d tapes of %s at %s\n",
+		hw.Libraries, hw.DrivesPerLib, hw.TapesPerLib,
+		units.FormatBytesSI(hw.Capacity), units.FormatRate(hw.TransferRate))
+
+	pl, err := paralleltape.Place(hw, scheme, w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("placement: %s using %d tapes\n\n", pl.Scheme, pl.TapesUsed)
+	if describe {
+		d, err := placement.Describe(pl, w, hw)
+		if err != nil {
+			return err
+		}
+		if err := d.Write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	sys, err := tapesys.New(hw, pl)
+	if err != nil {
+		return err
+	}
+	var tr *tapesys.Trace
+	if traceN > 0 {
+		tr = sys.EnableTrace(traceN)
+	}
+	stream, err := workload.NewRequestStream(w, rng.New(seed^0xDEADBEEF))
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Println("request,bytes,response_s,switch_s,seek_s,transfer_s,bandwidth_MBps,switches,tapes,drives")
+	}
+	ms := make([]tapesys.RequestMetrics, 0, requests)
+	for i := 0; i < requests; i++ {
+		mtr, err := sys.Submit(stream.Next())
+		if err != nil {
+			return err
+		}
+		ms = append(ms, mtr)
+		if csv {
+			fmt.Printf("%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%d,%d,%d\n",
+				mtr.Request, mtr.Bytes, mtr.Response, mtr.Switch, mtr.Seek, mtr.Transfer,
+				mtr.Bandwidth()/1e6, mtr.Switches, mtr.TapesTouched, mtr.DrivesUsed)
+		} else if verbose {
+			fmt.Printf("req %3d: %8s in %9s  (bw %s, %d switches, %d tapes, %d drives)\n",
+				mtr.Request, units.FormatBytesSI(mtr.Bytes), units.FormatSeconds(mtr.Response),
+				units.FormatRate(mtr.Bandwidth()), mtr.Switches, mtr.TapesTouched, mtr.DrivesUsed)
+		}
+	}
+	agg := metrics.AggregateSession(ms)
+	if !csv {
+		fmt.Println()
+		fmt.Printf("requests simulated        %d (%s transferred)\n", agg.Requests, units.FormatBytesSI(agg.Bytes))
+		fmt.Printf("effective bandwidth       %s (aggregate %s)\n",
+			units.FormatRate(agg.MeanBandwidth), units.FormatRate(agg.AggBandwidth))
+		fmt.Printf("avg response time         %s\n", units.FormatSeconds(agg.MeanResponse))
+		fmt.Printf("avg tape switch time      %s\n", units.FormatSeconds(agg.MeanSwitch))
+		fmt.Printf("avg data seek time        %s\n", units.FormatSeconds(agg.MeanSeek))
+		fmt.Printf("avg data transfer time    %s\n", units.FormatSeconds(agg.MeanTransfer))
+		fmt.Printf("avg switches per request  %.2f\n", agg.MeanSwitches)
+		fmt.Printf("avg tapes per request     %.2f\n", agg.MeanTapes)
+		fmt.Printf("avg drives per request    %.2f\n", agg.MeanDrivesUsed)
+		fmt.Printf("p95 response time         %s\n", units.FormatSeconds(agg.Response.P95))
+	}
+	if estimate {
+		mod, err := paralleltape.NewAnalyticModel(hw, pl)
+		if err != nil {
+			return err
+		}
+		est, err := mod.EstimateSession(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Printf("analytic estimate (no simulation, stationary mounts):\n")
+		fmt.Printf("  response %s  switch %s  seek %s  transfer %s  bandwidth %s\n",
+			units.FormatSeconds(est.Response), units.FormatSeconds(est.Switch),
+			units.FormatSeconds(est.Seek), units.FormatSeconds(est.Transfer),
+			units.FormatRate(est.Bandwidth()))
+		fmt.Printf("  hardware ceiling %s\n", units.FormatRate(paralleltape.IdealBandwidth(hw)))
+	}
+	if util {
+		fmt.Println()
+		if err := sys.WriteUtilization(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if tr != nil {
+		fmt.Println()
+		if err := tr.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runArgs bundles run()'s long parameter list with small-workload defaults.
+func runSmall(t *testing.T, scheme string, mutate func(args *simArgs)) error {
+	t.Helper()
+	a := &simArgs{
+		scheme: scheme, m: 2, epochs: 2, requests: 5, seed: 1, alpha: 0.3,
+		objects: 300, nRequests: 15, libraries: 2, drives: 4, tapes: 16,
+		capacity: "20GB", rate: "80MB",
+	}
+	if mutate != nil {
+		mutate(a)
+	}
+	return run(a.scheme, a.m, a.epochs, a.requests, a.seed, a.alpha,
+		a.objects, a.nRequests, a.libraries, a.drives, a.tapes,
+		a.capacity, a.rate, a.target, a.trace, a.csv, a.verbose,
+		a.util, a.estimate, a.describe, a.traceN)
+}
+
+type simArgs struct {
+	scheme                        string
+	m, epochs, requests           int
+	seed                          uint64
+	alpha                         float64
+	objects, nRequests, libraries int
+	drives, tapes                 int
+	capacity, rate, target, trace string
+	csv, verbose, util, estimate  bool
+	describe                      bool
+	traceN                        int
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	for _, scheme := range []string{
+		"parallel-batch", "object-probability", "cluster-probability", "round-robin", "online",
+	} {
+		if err := runSmall(t, scheme, nil); err != nil {
+			t.Errorf("%s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunUnknownScheme(t *testing.T) {
+	if err := runSmall(t, "nope", nil); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestRunFlagsVariants(t *testing.T) {
+	if err := runSmall(t, "parallel-batch", func(a *simArgs) {
+		a.csv = true
+	}); err != nil {
+		t.Errorf("csv: %v", err)
+	}
+	if err := runSmall(t, "parallel-batch", func(a *simArgs) {
+		a.verbose = true
+		a.util = true
+		a.estimate = true
+		a.describe = true
+		a.traceN = 5
+		a.target = "30GB"
+	}); err != nil {
+		t.Errorf("verbose/util/estimate/trace: %v", err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if err := runSmall(t, "parallel-batch", func(a *simArgs) { a.capacity = "12XB" }); err == nil {
+		t.Error("bad capacity accepted")
+	}
+	if err := runSmall(t, "parallel-batch", func(a *simArgs) { a.rate = "" }); err == nil {
+		t.Error("bad rate accepted")
+	}
+	if err := runSmall(t, "parallel-batch", func(a *simArgs) { a.target = "zzz" }); err == nil {
+		t.Error("bad target accepted")
+	}
+	if err := runSmall(t, "parallel-batch", func(a *simArgs) { a.libraries = 0 }); err == nil {
+		t.Error("zero libraries accepted")
+	}
+}
+
+func TestRunFromTrace(t *testing.T) {
+	// Write a tiny trace and replay it.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	raw := `{"objects":[{"id":0,"size":1000000000},{"id":1,"size":2000000000}],` +
+		`"requests":[{"id":0,"prob":1,"objects":[0,1]}]}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSmall(t, "cluster-probability", func(a *simArgs) {
+		a.trace = path
+		a.requests = 3
+	}); err != nil {
+		t.Errorf("trace replay: %v", err)
+	}
+	if err := runSmall(t, "parallel-batch", func(a *simArgs) { a.trace = filepath.Join(dir, "missing.json") }); err == nil {
+		t.Error("missing trace accepted")
+	}
+}

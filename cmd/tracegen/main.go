@@ -1,0 +1,178 @@
+// Command tracegen synthesizes a workload per the paper's §6 settings and
+// writes it as a JSON trace consumable by tapesim -trace and by the
+// library's model.ReadJSON.
+//
+// Example:
+//
+//	tracegen -objects 30000 -predefined 300 -alpha 0.3 -o workload.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"paralleltape"
+	"paralleltape/internal/metrics"
+	"paralleltape/internal/model"
+	"paralleltape/internal/units"
+)
+
+func main() {
+	var (
+		objects   = flag.Int("objects", 30000, "object population")
+		requests  = flag.Int("predefined", 300, "predefined request count")
+		alpha     = flag.Float64("alpha", 0.3, "Zipf request popularity skew")
+		minObj    = flag.String("min-object", "256MB", "minimum object size")
+		maxObj    = flag.String("max-object", "16GB", "maximum object size")
+		objShape  = flag.Float64("object-shape", 1.1, "object size power-law shape")
+		minLen    = flag.Int("min-request-len", 100, "minimum objects per request")
+		maxLen    = flag.Int("max-request-len", 150, "maximum objects per request")
+		lenShape  = flag.Float64("request-len-shape", 1.0, "request length power-law shape")
+		target    = flag.String("request-size", "", "rescale to this mean request size (e.g. 213GB)")
+		seed      = flag.Uint64("seed", 20060815, "random seed")
+		outPath   = flag.String("o", "", "output file (default stdout)")
+		statsOnly = flag.Bool("stats", false, "print workload statistics instead of the trace")
+		analyze   = flag.Bool("analyze", false, "print distribution histograms instead of the trace")
+	)
+	flag.Parse()
+
+	if err := run(*objects, *requests, *alpha, *minObj, *maxObj, *objShape,
+		*minLen, *maxLen, *lenShape, *target, *seed, *outPath, *statsOnly, *analyze); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(objects, requests int, alpha float64, minObj, maxObj string, objShape float64,
+	minLen, maxLen int, lenShape float64, target string, seed uint64,
+	outPath string, statsOnly, analyze bool) error {
+
+	p := paralleltape.DefaultWorkloadParams()
+	p.NumObjects = objects
+	p.NumRequests = requests
+	p.Alpha = alpha
+	p.ObjShape = objShape
+	p.MinReqLen = minLen
+	p.MaxReqLen = maxLen
+	p.ReqLenShape = lenShape
+	var err error
+	if p.MinObjSize, err = units.ParseBytes(minObj); err != nil {
+		return err
+	}
+	if p.MaxObjSize, err = units.ParseBytes(maxObj); err != nil {
+		return err
+	}
+
+	w, err := paralleltape.GenerateWorkload(p, seed)
+	if err != nil {
+		return err
+	}
+	if target != "" {
+		t, err := units.ParseBytes(target)
+		if err != nil {
+			return err
+		}
+		if _, err := paralleltape.TargetMeanRequestBytes(w, float64(t)); err != nil {
+			return err
+		}
+	}
+
+	if analyze {
+		return writeAnalysis(os.Stdout, w)
+	}
+	if statsOnly {
+		s := w.ComputeStats()
+		fmt.Printf("objects            %d\n", s.NumObjects)
+		fmt.Printf("requests           %d\n", s.NumRequests)
+		fmt.Printf("total data         %s\n", units.FormatBytesSI(s.TotalBytes))
+		fmt.Printf("object size        %s .. %s (mean %s)\n",
+			units.FormatBytesSI(s.MinObjectSize), units.FormatBytesSI(s.MaxObjectSize),
+			units.FormatBytesSI(int64(s.MeanObjectSize)))
+		fmt.Printf("request length     %d .. %d (mean %.1f)\n",
+			s.MinRequestLen, s.MaxRequestLen, s.MeanRequestLen)
+		fmt.Printf("mean request size  %s\n", units.FormatBytesSI(int64(s.MeanRequestBytes)))
+		fmt.Printf("referenced objects %d\n", s.DistinctReferenced)
+		return nil
+	}
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return w.WriteJSON(out)
+}
+
+// writeAnalysis prints distribution histograms: object sizes (log2 GB
+// buckets would hide the power law, so linear GB bins with overflow),
+// request sizes, request popularity by rank, and per-object request
+// multiplicity.
+func writeAnalysis(out io.Writer, w *model.Workload) error {
+	stats := w.ComputeStats()
+	fmt.Fprintf(out, "objects %d, requests %d, total %s, mean request %s\n\n",
+		stats.NumObjects, stats.NumRequests, units.FormatBytesSI(stats.TotalBytes),
+		units.FormatBytesSI(int64(stats.MeanRequestBytes)))
+
+	fmt.Fprintln(out, "object size distribution (GB):")
+	hObj := metrics.NewHistogram(0, float64(stats.MaxObjectSize)/1e9+1e-9, 12)
+	for _, o := range w.Objects {
+		hObj.Add(float64(o.Size) / 1e9)
+	}
+	if err := hObj.Render(out, 40, "%.2f"); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "\nrequest size distribution (GB):")
+	maxReq := 0.0
+	sizes := make([]float64, 0, len(w.Requests))
+	for i := range w.Requests {
+		s := float64(w.RequestBytes(&w.Requests[i])) / 1e9
+		sizes = append(sizes, s)
+		if s > maxReq {
+			maxReq = s
+		}
+	}
+	hReq := metrics.NewHistogram(0, maxReq+1e-9, 10)
+	for _, s := range sizes {
+		hReq.Add(s)
+	}
+	if err := hReq.Render(out, 40, "%.0f"); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "\nrequests sharing an object (multiplicity):")
+	counts := make([]int, len(w.Objects))
+	for i := range w.Requests {
+		for _, id := range w.Requests[i].Objects {
+			counts[id]++
+		}
+	}
+	maxMult := 0
+	for _, c := range counts {
+		if c > maxMult {
+			maxMult = c
+		}
+	}
+	hMult := metrics.NewHistogram(0, float64(maxMult)+1, maxMult+1)
+	for _, c := range counts {
+		hMult.Add(float64(c))
+	}
+	if err := hMult.Render(out, 40, "%.0f"); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "\nrequest popularity by rank (top 10):")
+	labels := make([]string, 0, 10)
+	values := make([]float64, 0, 10)
+	for i := 0; i < len(w.Requests) && i < 10; i++ {
+		labels = append(labels, fmt.Sprintf("rank %d", i+1))
+		values = append(values, w.Requests[i].Prob*100)
+	}
+	return metrics.BarChart(out, "", labels, values, 40)
+}

@@ -1,0 +1,65 @@
+// Capacity planning: an operator sizing a new parallel tape installation
+// wants to know (1) how many switch drives per library to dedicate (the
+// paper's m parameter, Figure 5) and (2) whether money is better spent on
+// another library (Figure 8). This example sweeps both knobs with the
+// parallel batch placement and prints a planning matrix.
+//
+//	go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paralleltape"
+)
+
+func main() {
+	params := paralleltape.DefaultWorkloadParams()
+	params.NumObjects = 3000
+	params.NumRequests = 60
+	params.MinReqLen = 30
+	params.MaxReqLen = 50
+	w, err := paralleltape.GenerateWorkload(params, 123)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Shrink cartridges so the workload exercises tape switching even on
+	// the smallest candidate installation (see the library's Quick config
+	// rationale).
+	baseHW := paralleltape.DefaultHardware()
+	baseHW.Capacity = 80e9 // 80 GB cartridges keep switching in play at this scale
+
+	fmt.Printf("planning workload: %d objects, %s total, mean request %s\n\n",
+		w.NumObjects(), paralleltape.FormatBytes(w.TotalObjectBytes()),
+		paralleltape.FormatBytes(int64(w.MeanRequestBytes())))
+
+	fmt.Println("switch drives per library (3 libraries):")
+	fmt.Printf("  %-4s %14s %16s\n", "m", "bandwidth", "mean response")
+	for m := 1; m <= baseHW.DrivesPerLib-1; m++ {
+		stats, err := paralleltape.Simulate(baseHW, paralleltape.NewParallelBatch(m), w, 40, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-4d %14s %16s\n", m,
+			paralleltape.FormatRate(stats.MeanBandwidth),
+			paralleltape.FormatSeconds(stats.MeanResponse))
+	}
+
+	fmt.Println("\nlibrary count (m = 4):")
+	fmt.Printf("  %-10s %14s %16s\n", "libraries", "bandwidth", "mean response")
+	for libs := 1; libs <= 4; libs++ {
+		hw := baseHW
+		hw.Libraries = libs
+		stats, err := paralleltape.Simulate(hw, paralleltape.NewParallelBatch(4), w, 40, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10d %14s %16s\n", libs,
+			paralleltape.FormatRate(stats.MeanBandwidth),
+			paralleltape.FormatSeconds(stats.MeanResponse))
+	}
+	fmt.Println("\nRead the two tables together: adding switch drives tightens the")
+	fmt.Println("switch path inside each library, while adding libraries multiplies")
+	fmt.Println("robots and drives — the paper's Figures 5 and 8 in planning form.")
+}

@@ -1,0 +1,88 @@
+// HPC checkpoint restore (the paper's §1 motivation): a computing cluster
+// periodically migrates inactive users' checkpoint data to tape; when a
+// user's time slot returns, the whole checkpoint set must be restored as
+// fast as possible.
+//
+// This example models 40 users, each owning a series of checkpoint files,
+// where "restore user u" is one request retrieving every file of that
+// user's latest checkpoint. Recently active users are more likely to
+// return (Zipf over users). It compares the three placement schemes on
+// mean restore time.
+//
+//	go run ./examples/hpcrestore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"paralleltape"
+)
+
+const (
+	numUsers      = 80
+	filesPerCkpt  = 80        // checkpoint shards per user
+	shardMin      = 256 << 20 // 256 MiB
+	shardMax      = 4 << 30   // 4 GiB
+	restoreEvents = 120
+)
+
+func main() {
+	// Build the workload by hand through the public model types: each
+	// user's checkpoint shards are one request.
+	src := rand.New(rand.NewSource(2026))
+	var w paralleltape.Workload
+	var nextID paralleltape.ObjectID
+	zipfNorm := 0.0
+	for u := 1; u <= numUsers; u++ {
+		zipfNorm += 1 / float64(u)
+	}
+	for u := 0; u < numUsers; u++ {
+		var ids []paralleltape.ObjectID
+		for f := 0; f < filesPerCkpt; f++ {
+			size := shardMin + src.Int63n(shardMax-shardMin)
+			w.Objects = append(w.Objects, paralleltape.Object{ID: nextID, Size: size})
+			ids = append(ids, nextID)
+			nextID++
+		}
+		w.Requests = append(w.Requests, paralleltape.Request{
+			ID:      paralleltape.RequestID(u),
+			Prob:    1 / float64(u+1) / zipfNorm, // recent users return more often
+			Objects: ids,
+		})
+	}
+	if err := w.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A modest two-library installation.
+	hw := paralleltape.DefaultHardware()
+	hw.Libraries = 2
+	hw.TapesPerLib = 60
+
+	fmt.Printf("checkpoint archive: %d users × %d shards, %s total\n",
+		numUsers, filesPerCkpt, paralleltape.FormatBytes(w.TotalObjectBytes()))
+	fmt.Printf("system: %d libraries × %d drives × %d tapes\n\n",
+		hw.Libraries, hw.DrivesPerLib, hw.TapesPerLib)
+
+	schemes := []paralleltape.Scheme{
+		paralleltape.NewObjectProbability(),
+		paralleltape.NewClusterProbability(),
+		paralleltape.NewParallelBatch(4),
+	}
+	fmt.Printf("%-22s %14s %14s %12s\n", "scheme", "mean restore", "p95 restore", "bandwidth")
+	for _, s := range schemes {
+		stats, err := paralleltape.Simulate(hw, s, &w, restoreEvents, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %14s %14s %12s\n", s.Name(),
+			paralleltape.FormatSeconds(stats.MeanResponse),
+			paralleltape.FormatSeconds(stats.Response.P95),
+			paralleltape.FormatRate(stats.MeanBandwidth))
+	}
+	fmt.Println("\nA user's checkpoint shards are always co-accessed, so the")
+	fmt.Println("relationship-aware schemes restore dramatically faster than")
+	fmt.Println("probability-only placement.")
+}

@@ -1,0 +1,43 @@
+// Quickstart: generate a paper-scale workload, place it with the paper's
+// parallel batch placement, simulate 50 restore requests, and print the
+// session metrics. Everything is deterministic in the seeds, so this
+// program prints the same numbers on every run.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paralleltape"
+)
+
+func main() {
+	// The paper's hardware: 3 libraries × 8 LTO-3 drives × 80 cartridges.
+	hw := paralleltape.DefaultHardware()
+
+	// The paper's workload: 30,000 power-law objects, 300 Zipf requests.
+	params := paralleltape.DefaultWorkloadParams()
+	w, err := paralleltape.GenerateWorkload(params, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d objects, %d requests, %s total\n",
+		w.NumObjects(), w.NumRequests(), paralleltape.FormatBytes(w.TotalObjectBytes()))
+
+	// Parallel batch placement with the paper's m = 4 switch drives.
+	scheme := paralleltape.NewParallelBatch(4)
+	stats, err := paralleltape.Simulate(hw, scheme, w, 50, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheme:   %s\n", scheme.Name())
+	fmt.Printf("requests: %d  (%s transferred)\n", stats.Requests, paralleltape.FormatBytes(stats.Bytes))
+	fmt.Printf("effective bandwidth: %s\n", paralleltape.FormatRate(stats.MeanBandwidth))
+	fmt.Printf("avg response:        %s\n", paralleltape.FormatSeconds(stats.MeanResponse))
+	fmt.Printf("  switch component:  %s\n", paralleltape.FormatSeconds(stats.MeanSwitch))
+	fmt.Printf("  seek component:    %s\n", paralleltape.FormatSeconds(stats.MeanSeek))
+	fmt.Printf("  transfer component:%s\n", paralleltape.FormatSeconds(stats.MeanTransfer))
+}

@@ -1,0 +1,3 @@
+module paralleltape
+
+go 1.22

@@ -1,0 +1,33 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON checks the catalog reader never panics and only accepts
+// catalogs whose layouts are contiguous and non-overlapping.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"num_objects":2,"tapes":[{"library":0,"index":0,"extents":[{"object":0,"start":0,"size":5},{"object":1,"start":5,"size":3}]}]}`))
+	f.Add([]byte(`{"num_objects":1,"tapes":[{"library":0,"index":0,"extents":[{"object":0,"start":9,"size":5}]}]}`))
+	f.Add([]byte(`{"num_objects":1,"tapes":[{"library":0,"index":0,"extents":[{"object":0,"start":0,"size":-5}]}]}`))
+	f.Add([]byte(`nope`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted catalogs must round-trip.
+		var out bytes.Buffer
+		if err := c.WriteJSON(&out); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if c2.NumPlaced() != c.NumPlaced() {
+			t.Fatalf("round trip changed placement count: %d vs %d", c.NumPlaced(), c2.NumPlaced())
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStripingShape(t *testing.T) {
+	rep, err := Striping(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var noStripe float64
+	var stripedBest float64
+	var stripedTapes, plainTapes float64
+	for _, r := range rep.Rows {
+		if r.Label == "no striping" {
+			noStripe = r.Stats.MeanBandwidth
+			plainTapes = r.Stats.MeanTapes
+			continue
+		}
+		if r.Stats.MeanBandwidth > stripedBest {
+			stripedBest = r.Stats.MeanBandwidth
+		}
+		if r.Stats.MeanTapes > stripedTapes {
+			stripedTapes = r.Stats.MeanTapes
+		}
+	}
+	if noStripe <= 0 || stripedBest <= 0 {
+		t.Fatal("missing rows")
+	}
+	// The paper's §2 position: striped placement does not beat the
+	// relationship-aware scheme.
+	if stripedBest > noStripe {
+		t.Errorf("striping beat parallel batch: %v vs %v", stripedBest, noStripe)
+	}
+	// Striping drags requests across more cartridges.
+	if stripedTapes <= plainTapes {
+		t.Errorf("striping did not widen tape touch: %v vs %v", stripedTapes, plainTapes)
+	}
+}
+
+func TestOnlineExperimentShape(t *testing.T) {
+	rep, err := Online(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var offline, oneEpoch, eightEpochs float64
+	for _, r := range rep.Rows {
+		switch {
+		case r.Label == "full knowledge (offline)":
+			offline = r.Stats.MeanBandwidth
+		case r.X == 1:
+			oneEpoch = r.Stats.MeanBandwidth
+		case r.X == 8:
+			eightEpochs = r.Stats.MeanBandwidth
+		}
+	}
+	if offline <= 0 || oneEpoch <= 0 || eightEpochs <= 0 {
+		t.Fatal("missing rows")
+	}
+	// One epoch sees everything: it should be close to offline quality.
+	if oneEpoch < offline*0.85 {
+		t.Errorf("1-epoch online %v far below offline %v", oneEpoch, offline)
+	}
+	// Fragmenting knowledge across 8 epochs must not outperform full
+	// knowledge meaningfully.
+	if eightEpochs > offline*1.05 {
+		t.Errorf("8-epoch online %v beat offline %v", eightEpochs, offline)
+	}
+}
+
+func TestSchedulerShape(t *testing.T) {
+	rep, err := Scheduler(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 9 {
+		t.Fatalf("rows = %d, want 3x3 policy grid", len(rep.Rows))
+	}
+	byLabel := map[string]float64{}
+	for _, r := range rep.Rows {
+		byLabel[r.Label] = r.Stats.MeanResponse
+	}
+	def := byLabel["largest-first / least-popular"]
+	if def <= 0 {
+		t.Fatal("default policy row missing")
+	}
+	// The paper's implicit default must be competitive with every
+	// alternative (within 20% of the best response).
+	for label, resp := range byLabel {
+		if def > resp*1.2 {
+			t.Errorf("default policy (%.1fs) much worse than %s (%.1fs)", def, label, resp)
+		}
+	}
+}
+
+func TestSensitivityShape(t *testing.T) {
+	rep, err := Sensitivity(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]float64{}
+	for _, r := range rep.Rows {
+		byLabel[r.Label] = r.Stats.MeanBandwidth
+	}
+	auto := byLabel["average / auto"]
+	if auto <= 0 {
+		t.Fatal("auto setting missing")
+	}
+	// The default must be within 10% of the best swept setting — i.e. the
+	// auto threshold is well chosen.
+	for label, bw := range byLabel {
+		if auto < bw*0.9 {
+			t.Errorf("auto setting (%v) much worse than %s (%v)", auto, label, bw)
+		}
+	}
+}
+
+func TestAllIncludesExtensions(t *testing.T) {
+	// Cheap check on the registry rather than running everything twice.
+	for _, id := range []string{"striping", "online", "scheduler", "sensitivity"} {
+		if _, err := ByID(id, Config{}); err != nil && strings.Contains(err.Error(), "unknown experiment") {
+			t.Errorf("%s not registered: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package loadbalance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paralleltape/internal/rng"
+)
+
+func freshTapes(n int, free int64) []*TapeState {
+	out := make([]*TapeState, n)
+	for i := range out {
+		out[i] = &TapeState{Free: free}
+	}
+	return out
+}
+
+func TestChooseSpread(t *testing.T) {
+	cases := []struct {
+		bytes     int64
+		objects   int
+		tapes     int
+		threshold int64
+		want      int
+	}{
+		{100, 10, 8, 1000, 1},    // small cluster: one tape
+		{1000, 10, 8, 1000, 1},   // exactly at threshold: one tape
+		{8000, 10, 8, 1000, 8},   // big cluster: full batch width
+		{3500, 10, 8, 1000, 4},   // ceil(3500/1000)=4
+		{80000, 3, 8, 1000, 3},   // capped by object count
+		{80000, 100, 8, 1000, 8}, // capped by batch width
+		{100, 0, 8, 1000, 0},     // no objects
+		{100, 5, 0, 1000, 0},     // no tapes
+	}
+	for _, c := range cases {
+		got := ChooseSpread(c.bytes, c.objects, c.tapes, c.threshold)
+		if got != c.want {
+			t.Errorf("ChooseSpread(%d,%d,%d,%d) = %d, want %d",
+				c.bytes, c.objects, c.tapes, c.threshold, got, c.want)
+		}
+	}
+}
+
+func TestChooseSpreadZeroThreshold(t *testing.T) {
+	if got := ChooseSpread(10, 100, 8, 0); got < 1 || got > 8 {
+		t.Errorf("ChooseSpread with zero threshold = %d", got)
+	}
+}
+
+func TestZigzagFollowsFigure3Walk(t *testing.T) {
+	// 7 equal-load items over 3 equally-loaded fresh tapes: the Figure 3
+	// walk visits ranks 1,2,2,1,0,0,1. With all tapes tied at load 0 the
+	// rank order is the input order.
+	items := make([]Item, 7)
+	for i := range items {
+		items[i] = Item{Load: 1, Size: 1}
+	}
+	tapes := freshTapes(3, 100)
+	got, err := Zigzag(items, tapes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 2, 1, 0, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assignment = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestZigzagBalancesLoad(t *testing.T) {
+	// Many identical items must end near-perfectly balanced.
+	items := make([]Item, 300)
+	for i := range items {
+		items[i] = Item{Load: 1, Size: 1}
+	}
+	tapes := freshTapes(4, 1000)
+	if _, err := Zigzag(items, tapes, 4); err != nil {
+		t.Fatal(err)
+	}
+	if imb := Imbalance(tapes); imb > 0.05 {
+		t.Errorf("imbalance = %v after 300 equal items", imb)
+	}
+}
+
+func TestZigzagBalancesSkewedLoads(t *testing.T) {
+	// Power-law loads: zigzag should still keep imbalance modest.
+	src := rng.New(1)
+	items := make([]Item, 200)
+	for i := range items {
+		l := 1.0 / float64(1+src.Intn(50))
+		items[i] = Item{Load: l, Size: 1}
+	}
+	tapes := freshTapes(5, 10000)
+	if _, err := Zigzag(items, tapes, 5); err != nil {
+		t.Fatal(err)
+	}
+	if imb := Imbalance(tapes); imb > 0.25 {
+		t.Errorf("imbalance = %v on skewed loads", imb)
+	}
+}
+
+func TestZigzagSmallClusterGoesToColdestTape(t *testing.T) {
+	// A 2-item cluster caps ndrv at 1, so the whole cluster lands on the
+	// least-loaded tape (§5.3 step 5: small clusters stay together).
+	tapes := []*TapeState{
+		{Load: 10, Free: 100},
+		{Load: 0, Free: 100},
+	}
+	items := []Item{{Load: 1, Size: 1}, {Load: 5, Size: 1}}
+	got, err := Zigzag(items, tapes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 1 {
+		t.Errorf("small cluster split or mis-placed: %v", got)
+	}
+}
+
+func TestZigzagRespectsCapacity(t *testing.T) {
+	tapes := []*TapeState{
+		{Free: 5},
+		{Free: 100},
+	}
+	items := []Item{{Load: 1, Size: 50}, {Load: 2, Size: 50}}
+	got, err := Zigzag(items, tapes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ti := range got {
+		if ti != 1 {
+			t.Errorf("item %d placed on undersized tape %d", i, ti)
+		}
+	}
+	if tapes[1].Free != 0 {
+		t.Errorf("tape 1 free = %d", tapes[1].Free)
+	}
+}
+
+func TestZigzagReportsUnplaceable(t *testing.T) {
+	tapes := freshTapes(2, 10)
+	asg, err := Zigzag([]Item{{Load: 1, Size: 50}}, tapes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != 1 || asg[0] != -1 {
+		t.Errorf("oversized item assignment = %v, want [-1]", asg)
+	}
+	for _, tp := range tapes {
+		if tp.Load != 0 || tp.Free != 10 {
+			t.Errorf("unplaceable item mutated tape state: %+v", tp)
+		}
+	}
+}
+
+func TestZigzagEmptyItems(t *testing.T) {
+	got, err := Zigzag(nil, freshTapes(2, 10), 2)
+	if err != nil || got != nil {
+		t.Errorf("empty items: %v, %v", got, err)
+	}
+}
+
+func TestZigzagNoTapes(t *testing.T) {
+	if _, err := Zigzag([]Item{{Load: 1, Size: 1}}, nil, 1); err == nil {
+		t.Error("no tapes accepted")
+	}
+}
+
+func TestZigzagNdrvClamped(t *testing.T) {
+	items := []Item{{Load: 1, Size: 1}, {Load: 2, Size: 1}}
+	// ndrv larger than tape count and smaller than 1 must both work.
+	if _, err := Zigzag(items, freshTapes(2, 10), 99); err != nil {
+		t.Errorf("ndrv>tapes: %v", err)
+	}
+	if _, err := Zigzag(items, freshTapes(2, 10), 0); err != nil {
+		t.Errorf("ndrv=0: %v", err)
+	}
+}
+
+func TestZigzagQuickConservation(t *testing.T) {
+	// Property: total assigned load and bytes match the inputs, and no
+	// tape goes negative on Free.
+	f := func(rawLoads []uint8, nTapes uint8) bool {
+		n := int(nTapes)%6 + 1
+		items := make([]Item, len(rawLoads))
+		var totalSize int64
+		var totalLoad float64
+		for i, r := range rawLoads {
+			items[i] = Item{Load: float64(r), Size: int64(r%16) + 1}
+			totalSize += items[i].Size
+			totalLoad += items[i].Load
+		}
+		tapes := freshTapes(n, 1<<40)
+		asg, err := Zigzag(items, tapes, n)
+		if err != nil {
+			return false
+		}
+		var gotLoad float64
+		var gotSize int64
+		for _, t := range tapes {
+			gotLoad += t.Load
+			gotSize += 1<<40 - t.Free
+			if t.Free < 0 {
+				return false
+			}
+		}
+		for _, a := range asg {
+			if a < 0 || a >= n {
+				return false
+			}
+		}
+		return gotLoad == totalLoad && gotSize == totalSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFirstFit(t *testing.T) {
+	tapes := []*TapeState{{Free: 100}, {Free: 50}}
+	items := []Item{{Load: 1, Size: 60}, {Load: 1, Size: 45}}
+	got, err := FirstFit(items, tapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Errorf("first item to tape %d, want 0 (most free)", got[0])
+	}
+	// After the first assignment tape 0 has 40 free, tape 1 has 50.
+	if got[1] != 1 {
+		t.Errorf("second item to tape %d, want 1", got[1])
+	}
+}
+
+func TestFirstFitUnplaceableAndNoTapes(t *testing.T) {
+	asg, err := FirstFit([]Item{{Size: 99}}, freshTapes(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != 1 || asg[0] != -1 {
+		t.Errorf("oversized item assignment = %v, want [-1]", asg)
+	}
+	if _, err := FirstFit([]Item{{Size: 1}}, nil); err == nil {
+		t.Error("no tapes accepted")
+	}
+}
+
+func TestZigzagPerClusterBalances(t *testing.T) {
+	// Figure 3 is applied once per cluster; the descending-load tape sort
+	// between clusters is what evens the batch out over time. Feed 40
+	// clusters of 10 skewed items and check the final balance is tight.
+	src := rng.New(7)
+	tapes := freshTapes(6, 1<<40)
+	for c := 0; c < 40; c++ {
+		items := make([]Item, 10)
+		for i := range items {
+			w := 1.0 / float64(1+src.Intn(100))
+			items[i] = Item{Load: w * 10, Size: int64(10 * w * 1000)}
+		}
+		if _, err := Zigzag(items, tapes, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if imb := Imbalance(tapes); imb > 0.15 {
+		t.Errorf("per-cluster zigzag imbalance = %v", imb)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance(nil); got != 0 {
+		t.Errorf("Imbalance(nil) = %v", got)
+	}
+	if got := Imbalance(freshTapes(3, 10)); got != 0 {
+		t.Errorf("Imbalance(zero loads) = %v", got)
+	}
+	tapes := []*TapeState{{Load: 1}, {Load: 3}}
+	if got := Imbalance(tapes); got != 1 {
+		t.Errorf("Imbalance = %v, want 1", got)
+	}
+}

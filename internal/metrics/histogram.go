@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram with text rendering, used by the
+// workload analyzer and placement diagnostics.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram builds a histogram over [lo, hi) with bins buckets. It
+// panics on a degenerate range or bin count (a construction bug).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || !(hi > lo) {
+		panic(fmt.Sprintf("metrics: bad histogram [%v,%v)x%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation; values outside the range are tallied in
+// under/overflow counters.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case v < h.Lo:
+		h.under++
+	case v >= h.Hi:
+		h.over++
+	default:
+		idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if idx >= len(h.Counts) { // guard the float edge
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Render writes the histogram as labeled text bars, scaled to width
+// characters. format renders bin boundaries (e.g. "%.0f").
+func (h *Histogram) Render(w io.Writer, width int, format string) error {
+	if width < 1 {
+		width = 40
+	}
+	maxCount := h.under
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if h.over > maxCount {
+		maxCount = h.over
+	}
+	if maxCount == 0 {
+		maxCount = 1
+	}
+	bar := func(c int) string {
+		n := int(math.Round(float64(c) / float64(maxCount) * float64(width)))
+		if c > 0 && n == 0 {
+			n = 1
+		}
+		return strings.Repeat("#", n)
+	}
+	if h.under > 0 {
+		if _, err := fmt.Fprintf(w, "%14s  %6d %s\n", "< "+fmt.Sprintf(format, h.Lo), h.under, bar(h.under)); err != nil {
+			return err
+		}
+	}
+	binW := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		lo := h.Lo + float64(i)*binW
+		label := fmt.Sprintf(format, lo)
+		if _, err := fmt.Fprintf(w, "%14s  %6d %s\n", label, c, bar(c)); err != nil {
+			return err
+		}
+	}
+	if h.over > 0 {
+		if _, err := fmt.Fprintf(w, "%14s  %6d %s\n", ">= "+fmt.Sprintf(format, h.Hi), h.over, bar(h.over)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BarChart renders labeled values as proportional text bars (the poor
+// man's figure for tapebench output).
+func BarChart(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("metrics: %d labels for %d values", len(labels), len(values))
+	}
+	if width < 1 {
+		width = 50
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		n := int(math.Round(v / maxV * float64(width)))
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %10.1f %s\n", maxLabel, labels[i], v, strings.Repeat("#", n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

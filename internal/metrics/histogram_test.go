@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0, 1.9, 2, 5, 9.99, -1, 10, 42} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	want := []int{2, 1, 1, 0, 1} // [0,2): {0,1.9}; [2,4): {2}; [4,6): {5}; [8,10): {9.99}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], c)
+		}
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Errorf("under/over = %d/%d", h.under, h.over)
+	}
+}
+
+func TestHistogramEdgeIntoLastBin(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	h.Add(0.999999999999) // float edge must not index out of range
+	if h.Counts[2] != 1 {
+		t.Errorf("edge value bin: %v", h.Counts)
+	}
+}
+
+func TestHistogramPanicsOnBadRange(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(2, 1, 4) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad histogram accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	for _, v := range []float64{0.5, 0.6, 2.5, -1, 9} {
+		h.Add(v)
+	}
+	var buf bytes.Buffer
+	if err := h.Render(&buf, 10, "%.0f"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"< 0", ">= 4", "#"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // under + 2 bins + over
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestHistogramRenderEmpty(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	var buf bytes.Buffer
+	if err := h.Render(&buf, 10, "%.0f"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#") {
+		t.Errorf("empty histogram drew bars:\n%s", buf.String())
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := BarChart(&buf, "Bandwidth", []string{"parallel-batch", "cluster-prob"}, []float64{300, 150}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "Bandwidth\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	longBar := strings.Count(lines[1], "#")
+	shortBar := strings.Count(lines[2], "#")
+	if longBar != 20 || shortBar != 10 {
+		t.Errorf("bar lengths %d/%d, want 20/10", longBar, shortBar)
+	}
+}
+
+func TestBarChartMismatch(t *testing.T) {
+	if err := BarChart(&bytes.Buffer{}, "", []string{"a"}, nil, 10); err == nil {
+		t.Error("mismatched inputs accepted")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChart(&buf, "", []string{"a", "b"}, []float64{0, 0}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#") {
+		t.Errorf("zero values drew bars:\n%s", buf.String())
+	}
+}

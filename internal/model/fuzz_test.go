@@ -1,0 +1,38 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON checks the trace reader never panics and never accepts a
+// workload that fails validation.
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	w := &Workload{
+		Objects:  []Object{{ID: 0, Size: 10}, {ID: 1, Size: 20}},
+		Requests: []Request{{ID: 0, Prob: 1, Objects: []ObjectID{0, 1}}},
+	}
+	_ = w.WriteJSON(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"objects":[{"id":0,"size":-1}],"requests":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"objects":[],"requests":[{"id":0,"prob":1,"objects":[5]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid workload: %v", err)
+		}
+		// Accepted workloads must survive a round trip.
+		var out bytes.Buffer
+		if err := w.WriteJSON(&out); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadJSON(&out); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

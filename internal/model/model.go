@@ -1,0 +1,273 @@
+// Package model defines the domain types the whole system shares: data
+// objects, retrieval requests, and workloads (the paper's §3 problem
+// formulation). A Workload is the unit handed to placement schemes and to
+// the simulator; it can be serialized as a JSON trace for offline study
+// (cmd/tracegen).
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// ObjectID identifies one data object (0-based, dense).
+type ObjectID int32
+
+// RequestID identifies one predefined request (0-based, dense).
+type RequestID int32
+
+// Object is one whole-object-sequential-access data object (§3 assumption
+// 3: the entire object is retrieved when requested).
+type Object struct {
+	ID   ObjectID `json:"id"`
+	Size int64    `json:"size"` // bytes
+}
+
+// Request is one predefined retrieval request: a popularity and the set of
+// objects it retrieves (§3 assumption 2). Objects lists IDs without
+// duplicates; order carries no meaning.
+type Request struct {
+	ID      RequestID  `json:"id"`
+	Prob    float64    `json:"prob"` // access probability, Σ over requests = 1
+	Objects []ObjectID `json:"objects"`
+}
+
+// Workload bundles the object population and the predefined request set.
+type Workload struct {
+	Objects  []Object  `json:"objects"`
+	Requests []Request `json:"requests"`
+}
+
+// Validate checks structural invariants:
+//   - object IDs are dense 0..N-1 in slice order, sizes positive;
+//   - request IDs are dense 0..M-1 in slice order;
+//   - request probabilities are non-negative, finite, and sum to ~1;
+//   - every referenced object exists;
+//   - no request lists the same object twice or is empty.
+func (w *Workload) Validate() error {
+	for i, o := range w.Objects {
+		if int(o.ID) != i {
+			return fmt.Errorf("model: object at index %d has ID %d (IDs must be dense)", i, o.ID)
+		}
+		if o.Size <= 0 {
+			return fmt.Errorf("model: object %d has non-positive size %d", o.ID, o.Size)
+		}
+	}
+	probSum := 0.0
+	for i, r := range w.Requests {
+		if int(r.ID) != i {
+			return fmt.Errorf("model: request at index %d has ID %d (IDs must be dense)", i, r.ID)
+		}
+		if r.Prob < 0 || math.IsNaN(r.Prob) || math.IsInf(r.Prob, 0) {
+			return fmt.Errorf("model: request %d has invalid probability %v", r.ID, r.Prob)
+		}
+		if len(r.Objects) == 0 {
+			return fmt.Errorf("model: request %d is empty", r.ID)
+		}
+		seen := make(map[ObjectID]struct{}, len(r.Objects))
+		for _, id := range r.Objects {
+			if id < 0 || int(id) >= len(w.Objects) {
+				return fmt.Errorf("model: request %d references unknown object %d", r.ID, id)
+			}
+			if _, dup := seen[id]; dup {
+				return fmt.Errorf("model: request %d lists object %d twice", r.ID, id)
+			}
+			seen[id] = struct{}{}
+		}
+		probSum += r.Prob
+	}
+	if len(w.Requests) > 0 && math.Abs(probSum-1) > 1e-6 {
+		return fmt.Errorf("model: request probabilities sum to %v, want 1", probSum)
+	}
+	return nil
+}
+
+// NumObjects returns the object count.
+func (w *Workload) NumObjects() int { return len(w.Objects) }
+
+// NumRequests returns the predefined request count.
+func (w *Workload) NumRequests() int { return len(w.Requests) }
+
+// TotalObjectBytes returns the summed size of all objects.
+func (w *Workload) TotalObjectBytes() int64 {
+	var total int64
+	for _, o := range w.Objects {
+		total += o.Size
+	}
+	return total
+}
+
+// RequestBytes returns the total bytes request r transfers.
+func (w *Workload) RequestBytes(r *Request) int64 {
+	var total int64
+	for _, id := range r.Objects {
+		total += w.Objects[id].Size
+	}
+	return total
+}
+
+// MeanRequestBytes returns the popularity-weighted mean request size, the
+// quantity the paper's Figures 6–9 captions quote ("average request size of
+// around 213 GB").
+func (w *Workload) MeanRequestBytes() float64 {
+	if len(w.Requests) == 0 {
+		return 0
+	}
+	var sum, probSum float64
+	for i := range w.Requests {
+		r := &w.Requests[i]
+		sum += r.Prob * float64(w.RequestBytes(r))
+		probSum += r.Prob
+	}
+	if probSum == 0 {
+		return 0
+	}
+	return sum / probSum
+}
+
+// ObjectProbs computes per-object access probabilities
+// P(O) = Σ_{R ∋ O} P(R) — §5.3 Step 1. The result is indexed by ObjectID.
+func (w *Workload) ObjectProbs() []float64 {
+	probs := make([]float64, len(w.Objects))
+	for i := range w.Requests {
+		r := &w.Requests[i]
+		for _, id := range r.Objects {
+			probs[id] += r.Prob
+		}
+	}
+	return probs
+}
+
+// RequestsByObject builds the inverted index object → requests containing
+// it. The per-object request lists are sorted by request ID.
+func (w *Workload) RequestsByObject() [][]RequestID {
+	idx := make([][]RequestID, len(w.Objects))
+	for i := range w.Requests {
+		r := &w.Requests[i]
+		for _, id := range r.Objects {
+			idx[id] = append(idx[id], r.ID)
+		}
+	}
+	for _, l := range idx {
+		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+	}
+	return idx
+}
+
+// Stats summarizes a workload for reports and trace headers.
+type Stats struct {
+	NumObjects         int     `json:"num_objects"`
+	NumRequests        int     `json:"num_requests"`
+	TotalBytes         int64   `json:"total_bytes"`
+	MinObjectSize      int64   `json:"min_object_size"`
+	MaxObjectSize      int64   `json:"max_object_size"`
+	MeanObjectSize     float64 `json:"mean_object_size"`
+	MinRequestLen      int     `json:"min_request_len"`
+	MaxRequestLen      int     `json:"max_request_len"`
+	MeanRequestLen     float64 `json:"mean_request_len"`
+	MeanRequestBytes   float64 `json:"mean_request_bytes"`
+	DistinctReferenced int     `json:"distinct_referenced"`
+}
+
+// ComputeStats derives summary statistics.
+func (w *Workload) ComputeStats() Stats {
+	s := Stats{
+		NumObjects:  len(w.Objects),
+		NumRequests: len(w.Requests),
+	}
+	if len(w.Objects) > 0 {
+		s.MinObjectSize = math.MaxInt64
+	}
+	for _, o := range w.Objects {
+		s.TotalBytes += o.Size
+		if o.Size < s.MinObjectSize {
+			s.MinObjectSize = o.Size
+		}
+		if o.Size > s.MaxObjectSize {
+			s.MaxObjectSize = o.Size
+		}
+	}
+	if len(w.Objects) > 0 {
+		s.MeanObjectSize = float64(s.TotalBytes) / float64(len(w.Objects))
+	}
+	referenced := make(map[ObjectID]struct{})
+	if len(w.Requests) > 0 {
+		s.MinRequestLen = math.MaxInt
+	}
+	lenSum := 0
+	for i := range w.Requests {
+		r := &w.Requests[i]
+		if len(r.Objects) < s.MinRequestLen {
+			s.MinRequestLen = len(r.Objects)
+		}
+		if len(r.Objects) > s.MaxRequestLen {
+			s.MaxRequestLen = len(r.Objects)
+		}
+		lenSum += len(r.Objects)
+		for _, id := range r.Objects {
+			referenced[id] = struct{}{}
+		}
+	}
+	if len(w.Requests) > 0 {
+		s.MeanRequestLen = float64(lenSum) / float64(len(w.Requests))
+	}
+	s.MeanRequestBytes = w.MeanRequestBytes()
+	s.DistinctReferenced = len(referenced)
+	return s
+}
+
+// WriteJSON serializes the workload as a compact JSON trace.
+func (w *Workload) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	return enc.Encode(w)
+}
+
+// ReadJSON parses a workload trace produced by WriteJSON and validates it.
+func ReadJSON(in io.Reader) (*Workload, error) {
+	var w Workload
+	dec := json.NewDecoder(in)
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("model: decoding workload: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// Clone deep-copies the workload so callers can mutate (e.g. scale object
+// sizes for the Figure 7 sweep) without aliasing.
+func (w *Workload) Clone() *Workload {
+	out := &Workload{
+		Objects:  make([]Object, len(w.Objects)),
+		Requests: make([]Request, len(w.Requests)),
+	}
+	copy(out.Objects, w.Objects)
+	for i, r := range w.Requests {
+		nr := r
+		nr.Objects = make([]ObjectID, len(r.Objects))
+		copy(nr.Objects, r.Objects)
+		out.Requests[i] = nr
+	}
+	return out
+}
+
+// ScaleObjectSizes multiplies every object size by factor (rounded, floor 1
+// byte). The paper's Figure 7 varies average request size exactly this way:
+// "the request size is changed by changing the object size".
+func (w *Workload) ScaleObjectSizes(factor float64) error {
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return fmt.Errorf("model: invalid size scale factor %v", factor)
+	}
+	for i := range w.Objects {
+		ns := int64(math.Round(float64(w.Objects[i].Size) * factor))
+		if ns < 1 {
+			ns = 1
+		}
+		w.Objects[i].Size = ns
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny returns a small valid workload used across tests:
+// 4 objects, 2 requests with probabilities 0.75/0.25.
+func tiny() *Workload {
+	return &Workload{
+		Objects: []Object{
+			{ID: 0, Size: 100},
+			{ID: 1, Size: 200},
+			{ID: 2, Size: 300},
+			{ID: 3, Size: 400},
+		},
+		Requests: []Request{
+			{ID: 0, Prob: 0.75, Objects: []ObjectID{0, 1}},
+			{ID: 1, Prob: 0.25, Objects: []ObjectID{1, 2, 3}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := tiny().Validate(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+}
+
+func TestValidateEmptyWorkload(t *testing.T) {
+	w := &Workload{}
+	if err := w.Validate(); err != nil {
+		t.Errorf("empty workload should be valid: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]func(w *Workload){
+		"non-dense object ID":  func(w *Workload) { w.Objects[1].ID = 7 },
+		"zero size":            func(w *Workload) { w.Objects[0].Size = 0 },
+		"negative size":        func(w *Workload) { w.Objects[0].Size = -5 },
+		"non-dense request ID": func(w *Workload) { w.Requests[0].ID = 3 },
+		"negative prob":        func(w *Workload) { w.Requests[0].Prob = -0.1 },
+		"NaN prob":             func(w *Workload) { w.Requests[0].Prob = math.NaN() },
+		"empty request":        func(w *Workload) { w.Requests[0].Objects = nil },
+		"unknown object":       func(w *Workload) { w.Requests[0].Objects = []ObjectID{99} },
+		"negative object ref":  func(w *Workload) { w.Requests[0].Objects = []ObjectID{-1} },
+		"duplicate object":     func(w *Workload) { w.Requests[0].Objects = []ObjectID{1, 1} },
+		"prob sum != 1":        func(w *Workload) { w.Requests[0].Prob = 0.1 },
+	}
+	for name, mutate := range cases {
+		w := tiny()
+		mutate(w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	w := tiny()
+	if got := w.TotalObjectBytes(); got != 1000 {
+		t.Errorf("TotalObjectBytes = %d, want 1000", got)
+	}
+	if got := w.NumObjects(); got != 4 {
+		t.Errorf("NumObjects = %d", got)
+	}
+	if got := w.NumRequests(); got != 2 {
+		t.Errorf("NumRequests = %d", got)
+	}
+}
+
+func TestRequestBytes(t *testing.T) {
+	w := tiny()
+	if got := w.RequestBytes(&w.Requests[0]); got != 300 {
+		t.Errorf("RequestBytes(R0) = %d, want 300", got)
+	}
+	if got := w.RequestBytes(&w.Requests[1]); got != 900 {
+		t.Errorf("RequestBytes(R1) = %d, want 900", got)
+	}
+}
+
+func TestMeanRequestBytes(t *testing.T) {
+	w := tiny()
+	want := 0.75*300 + 0.25*900
+	if got := w.MeanRequestBytes(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanRequestBytes = %v, want %v", got, want)
+	}
+}
+
+func TestMeanRequestBytesEmpty(t *testing.T) {
+	w := &Workload{}
+	if got := w.MeanRequestBytes(); got != 0 {
+		t.Errorf("MeanRequestBytes on empty = %v", got)
+	}
+}
+
+func TestObjectProbs(t *testing.T) {
+	w := tiny()
+	probs := w.ObjectProbs()
+	want := []float64{0.75, 1.0, 0.25, 0.25}
+	for i, p := range want {
+		if math.Abs(probs[i]-p) > 1e-12 {
+			t.Errorf("ObjectProbs[%d] = %v, want %v", i, probs[i], p)
+		}
+	}
+}
+
+func TestRequestsByObject(t *testing.T) {
+	w := tiny()
+	idx := w.RequestsByObject()
+	if len(idx[0]) != 1 || idx[0][0] != 0 {
+		t.Errorf("idx[0] = %v", idx[0])
+	}
+	if len(idx[1]) != 2 || idx[1][0] != 0 || idx[1][1] != 1 {
+		t.Errorf("idx[1] = %v", idx[1])
+	}
+	if len(idx[3]) != 1 || idx[3][0] != 1 {
+		t.Errorf("idx[3] = %v", idx[3])
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	w := tiny()
+	s := w.ComputeStats()
+	if s.NumObjects != 4 || s.NumRequests != 2 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.MinObjectSize != 100 || s.MaxObjectSize != 400 {
+		t.Errorf("object size range: %+v", s)
+	}
+	if s.MeanObjectSize != 250 {
+		t.Errorf("MeanObjectSize = %v", s.MeanObjectSize)
+	}
+	if s.MinRequestLen != 2 || s.MaxRequestLen != 3 || s.MeanRequestLen != 2.5 {
+		t.Errorf("request lengths: %+v", s)
+	}
+	if s.DistinctReferenced != 4 {
+		t.Errorf("DistinctReferenced = %d", s.DistinctReferenced)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := tiny()
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumObjects() != 4 || got.NumRequests() != 2 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if got.Requests[1].Objects[2] != 3 {
+		t.Errorf("round trip object list: %v", got.Requests[1].Objects)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	// Request references unknown object 9.
+	bad := `{"objects":[{"id":0,"size":10}],"requests":[{"id":0,"prob":1,"objects":[9]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid trace accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("{garbage")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	w := tiny()
+	c := w.Clone()
+	c.Objects[0].Size = 999
+	c.Requests[0].Objects[0] = 3
+	if w.Objects[0].Size != 100 {
+		t.Error("Clone shares object slice")
+	}
+	if w.Requests[0].Objects[0] != 0 {
+		t.Error("Clone shares request object slice")
+	}
+}
+
+func TestScaleObjectSizes(t *testing.T) {
+	w := tiny()
+	if err := w.ScaleObjectSizes(2); err != nil {
+		t.Fatal(err)
+	}
+	if w.Objects[0].Size != 200 || w.Objects[3].Size != 800 {
+		t.Errorf("scaled sizes: %+v", w.Objects)
+	}
+}
+
+func TestScaleObjectSizesFloorOne(t *testing.T) {
+	w := tiny()
+	if err := w.ScaleObjectSizes(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range w.Objects {
+		if o.Size < 1 {
+			t.Errorf("object %d scaled below 1 byte: %d", o.ID, o.Size)
+		}
+	}
+}
+
+func TestScaleObjectSizesInvalid(t *testing.T) {
+	for _, f := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := tiny().ScaleObjectSizes(f); err == nil {
+			t.Errorf("ScaleObjectSizes(%v): want error", f)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package organpipe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"paralleltape/internal/rng"
+)
+
+func weightsOf(items []Item) []float64 {
+	out := make([]float64, len(items))
+	for i, it := range items {
+		out[i] = it.Weight
+	}
+	return out
+}
+
+func TestArrangeEmpty(t *testing.T) {
+	if got := Arrange(nil); got != nil {
+		t.Errorf("Arrange(nil) = %v", got)
+	}
+}
+
+func TestArrangeSingle(t *testing.T) {
+	got := Arrange([]Item{{Index: 3, Weight: 0.5}})
+	if len(got) != 1 || got[0].Index != 3 {
+		t.Errorf("Arrange single = %v", got)
+	}
+}
+
+func TestArrangeShape(t *testing.T) {
+	// Weights 5,4,3,2,1 → organ pipe: increases to the peak then decreases.
+	items := []Item{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+	}
+	got := weightsOf(Arrange(items))
+	peak := 0
+	for i, w := range got {
+		if w > got[peak] {
+			peak = i
+		}
+	}
+	for i := 1; i <= peak; i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("not increasing to the peak: %v", got)
+		}
+	}
+	for i := peak + 1; i < len(got); i++ {
+		if got[i] > got[i-1] {
+			t.Fatalf("not decreasing after the peak: %v", got)
+		}
+	}
+	// The heaviest element must be at the peak.
+	if got[peak] != 5 {
+		t.Errorf("peak weight = %v", got[peak])
+	}
+}
+
+func TestArrangePreservesMultiset(t *testing.T) {
+	f := func(raw []uint8) bool {
+		items := make([]Item, len(raw))
+		for i, r := range raw {
+			items[i] = Item{Index: i, Weight: float64(r)}
+		}
+		got := Arrange(items)
+		if len(got) != len(items) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, it := range got {
+			if seen[it.Index] {
+				return false
+			}
+			seen[it.Index] = true
+		}
+		return len(seen) == len(items)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrangeIsUnimodal(t *testing.T) {
+	f := func(raw []uint16) bool {
+		items := make([]Item, len(raw))
+		for i, r := range raw {
+			items[i] = Item{Index: i, Weight: float64(r)}
+		}
+		got := weightsOf(Arrange(items))
+		if len(got) == 0 {
+			return true
+		}
+		peak := 0
+		for i, w := range got {
+			if w > got[peak] {
+				peak = i
+			}
+		}
+		for i := 1; i <= peak; i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		for i := peak + 1; i < len(got); i++ {
+			if got[i] > got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrangeDeterministicWithTies(t *testing.T) {
+	items := []Item{{0, 1}, {1, 1}, {2, 1}, {3, 1}}
+	a, b := Arrange(items), Arrange(items)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tie handling nondeterministic")
+		}
+	}
+}
+
+func TestIndices(t *testing.T) {
+	got := Indices([]float64{0.1, 0.9, 0.5})
+	// Heaviest (index 1) must be central.
+	if got[1] != 1 {
+		t.Errorf("Indices = %v, want heaviest central", got)
+	}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestExpectedTravelOrganPipeBeatsSorted(t *testing.T) {
+	// Zipf-ish weights; organ-pipe must yield lower expected travel than
+	// sorted-descending order and than a random shuffle.
+	src := rng.New(1)
+	weights := make([]float64, 31)
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+	}
+	pipeOrder := Indices(weights)
+	pipe := make([]float64, len(weights))
+	for pos, idx := range pipeOrder {
+		pipe[pos] = weights[idx]
+	}
+	sortedTravel := ExpectedTravel(weights) // already descending
+	pipeTravel := ExpectedTravel(pipe)
+	if pipeTravel >= sortedTravel {
+		t.Errorf("organ pipe travel %v not better than sorted %v", pipeTravel, sortedTravel)
+	}
+	for trial := 0; trial < 10; trial++ {
+		shuf := make([]float64, len(weights))
+		copy(shuf, weights)
+		src.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		if pipeTravel > ExpectedTravel(shuf)+1e-12 {
+			t.Errorf("organ pipe travel %v beaten by random order %v", pipeTravel, ExpectedTravel(shuf))
+		}
+	}
+}
+
+func TestExpectedTravelZeroWeights(t *testing.T) {
+	if got := ExpectedTravel([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("ExpectedTravel zeros = %v", got)
+	}
+	if got := ExpectedTravel(nil); got != 0 {
+		t.Errorf("ExpectedTravel(nil) = %v", got)
+	}
+}
+
+func TestExpectedTravelSymmetricPair(t *testing.T) {
+	// Two equal weights at distance 1: travel = 2 * 0.25 * 1 = 0.5.
+	got := ExpectedTravel([]float64{1, 1})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ExpectedTravel pair = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,107 @@
+package placement
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDescribeSchemes(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 40)
+	for _, s := range allSchemes() {
+		res, err := s.Place(w, hw)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		d, err := Describe(res, w, hw)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if d.Scheme != s.Name() {
+			t.Errorf("scheme label %q", d.Scheme)
+		}
+		if d.FillMin < 0 || d.FillMax > hw.Capacity || d.FillMean > d.FillMax || d.FillMin > d.FillMean {
+			t.Errorf("%s: fill stats inconsistent: %+v", s.Name(), d)
+		}
+		if d.MountedProbShare < 0 || d.MountedProbShare > 1+1e-9 {
+			t.Errorf("%s: MountedProbShare = %v", s.Name(), d.MountedProbShare)
+		}
+		if d.ProbGini < -1e-9 || d.ProbGini > 1 {
+			t.Errorf("%s: Gini = %v", s.Name(), d.ProbGini)
+		}
+		if d.MeanTapesPerRequest < 1 || d.MeanTapesPerRequest > float64(d.MaxTapesOfAnyRequest) {
+			t.Errorf("%s: tapes/request %v (max %d)", s.Name(), d.MeanTapesPerRequest, d.MaxTapesOfAnyRequest)
+		}
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), s.Name()) {
+			t.Errorf("description text missing scheme name:\n%s", buf.String())
+		}
+	}
+}
+
+func TestDescribeStructuralContrasts(t *testing.T) {
+	// The diagnostics must expose the defining structural differences:
+	// cluster probability keeps requests on few tapes; object probability
+	// scatters them widest.
+	hw := smallHW()
+	w := smallWL(t, 41)
+	tapesPer := map[string]float64{}
+	gini := map[string]float64{}
+	for _, s := range allSchemes() {
+		res, err := s.Place(w, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Describe(res, w, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tapesPer[s.Name()] = d.MeanTapesPerRequest
+		gini[s.Name()] = d.ProbGini
+	}
+	if tapesPer["cluster-probability"] >= tapesPer["object-probability"] {
+		t.Errorf("cluster-probability touches %v tapes/request, object-probability %v — expected fewer",
+			tapesPer["cluster-probability"], tapesPer["object-probability"])
+	}
+	// Cluster packing concentrates probability far more than rank dealing.
+	if gini["cluster-probability"] <= gini["round-robin"] {
+		t.Errorf("Gini ordering unexpected: cluster %v vs round-robin %v",
+			gini["cluster-probability"], gini["round-robin"])
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini(nil); g != 0 {
+		t.Errorf("gini(nil) = %v", g)
+	}
+	if g := gini([]float64{0, 0, 0}); g != 0 {
+		t.Errorf("gini(zeros) = %v", g)
+	}
+	if g := gini([]float64{1, 1, 1, 1}); math.Abs(g) > 1e-12 {
+		t.Errorf("gini(uniform) = %v, want 0", g)
+	}
+	// All mass on one element of n: Gini = (n-1)/n.
+	if g := gini([]float64{0, 0, 0, 10}); math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("gini(concentrated) = %v, want 0.75", g)
+	}
+	// More skew → higher Gini.
+	if gini([]float64{1, 2, 3, 4}) >= gini([]float64{0.1, 0.2, 0.3, 10}) {
+		t.Error("gini ordering violated")
+	}
+}
+
+func TestDescribeErrors(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 42)
+	if _, err := Describe(nil, w, hw); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := Describe(&Result{Scheme: "x"}, w, hw); err == nil {
+		t.Error("result without catalog accepted")
+	}
+}

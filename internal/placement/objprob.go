@@ -1,0 +1,130 @@
+package placement
+
+import (
+	"paralleltape/internal/model"
+	"paralleltape/internal/tape"
+)
+
+// ObjectProbability is the [11] (Christodoulakis et al., VLDB'97) baseline:
+// placement driven purely by independent per-object access probabilities,
+// with no knowledge of object relationships.
+//
+// Objects are sorted by probability and dealt round-robin by rank across
+// the capacity-minimal tape set (the multi-tape generalization of the
+// paper's Figure 4 schematic: neighboring ranks on neighboring tapes, so
+// per-tape probability and seek load stay balanced while the top ranks
+// concentrate whatever probability the mounted set can hold). Objects
+// within each tape are organ-pipe aligned.
+//
+// Because co-requested objects carry unrelated probabilities, a request's
+// objects scatter across nearly as many tapes as it has objects: the
+// scheme transfers with maximal parallelism but pays the heaviest switch
+// traffic of the three schemes — the paper's Figure 9 behavior.
+type ObjectProbability struct {
+	// K is the capacity utilization coefficient; zero means DefaultK.
+	K float64
+	// GroupWidth narrows the dealing to rank bands of this many
+	// cartridges (an ablation knob); zero deals across the whole
+	// capacity-minimal tape set.
+	GroupWidth int
+}
+
+// Name implements Scheme.
+func (s ObjectProbability) Name() string { return "object-probability" }
+
+// Place implements Scheme.
+func (s ObjectProbability) Place(w *model.Workload, hw tape.Hardware) (*Result, error) {
+	k := s.K
+	if k == 0 {
+		k = DefaultK
+	}
+	if err := checkFits(w, hw, k); err != nil {
+		return nil, err
+	}
+	b := newBuilder(w, hw)
+	kCap := int64(float64(hw.Capacity) * k)
+	groupWidth := s.GroupWidth
+	if groupWidth <= 0 {
+		// Capacity-minimal tape set: just enough cartridges at
+		// utilization k to hold everything.
+		total := w.TotalObjectBytes()
+		groupWidth = int(total / kCap)
+		if total%kCap != 0 || groupWidth == 0 {
+			groupWidth++
+		}
+	}
+	if groupWidth > hw.TotalTapes() {
+		groupWidth = hw.TotalTapes()
+	}
+
+	// Active group of cartridges accepting objects, each with a k-budget.
+	type slot struct {
+		key    tape.Key
+		budget int64
+	}
+	var group []slot
+	nextRank := 0
+	tapesUsed := 0
+	openGroup := func() error {
+		group = group[:0]
+		for i := 0; i < groupWidth; i++ {
+			key, err := roundRobinKey(nextRank, hw)
+			if err != nil {
+				return err
+			}
+			nextRank++
+			group = append(group, slot{key: key, budget: kCap})
+		}
+		tapesUsed += groupWidth
+		return nil
+	}
+	if err := openGroup(); err != nil {
+		return nil, err
+	}
+	deal := 0
+	for _, id := range probOrder(w, b.probs) {
+		size := w.Objects[id].Size
+		placed := false
+		for try := 0; try < len(group); try++ {
+			sl := &group[(deal+try)%len(group)]
+			// A fresh cartridge takes any object the hardware can hold,
+			// even one above the k-budget.
+			if sl.budget >= size || sl.budget == kCap {
+				if err := b.add(sl.key, id); err != nil {
+					return nil, err
+				}
+				sl.budget -= size
+				deal = (deal + try + 1) % len(group)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Spill: extend the tape set by one cartridge rather than a
+			// whole group, so packing slack never overruns the library.
+			key, err := roundRobinKey(nextRank, hw)
+			if err != nil {
+				return nil, err
+			}
+			nextRank++
+			tapesUsed++
+			group = append(group, slot{key: key, budget: kCap - size})
+			if err := b.add(key, id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cat, tapeProb, err := b.finish(alignAll(AlignOrganPipe))
+	if err != nil {
+		return nil, err
+	}
+	mounts, pinned := hottestMounts(hw, tapeProb)
+	return &Result{
+		Scheme:        s.Name(),
+		Catalog:       cat,
+		InitialMounts: mounts,
+		Pinned:        pinned,
+		TapeProb:      tapeProb,
+		TapesUsed:     tapesUsed,
+	}, nil
+}

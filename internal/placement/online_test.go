@@ -1,0 +1,176 @@
+package placement
+
+import (
+	"testing"
+
+	"paralleltape/internal/model"
+)
+
+func TestOnlineValidPlacement(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 30)
+	for _, epochs := range []int{1, 2, 4, 8} {
+		s := Online{Epochs: epochs, M: 2}
+		res, err := s.Place(w, hw)
+		if err != nil {
+			t.Fatalf("epochs=%d: %v", epochs, err)
+		}
+		if err := res.Validate(w, hw); err != nil {
+			t.Fatalf("epochs=%d: %v", epochs, err)
+		}
+	}
+}
+
+func TestOnlineDeterministic(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 31)
+	s := Online{Epochs: 3, M: 2}
+	a, err := s.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.NumObjects(); i++ {
+		la, _ := a.Catalog.Lookup(model.ObjectID(i))
+		lb, _ := b.Catalog.Lookup(model.ObjectID(i))
+		if la != lb {
+			t.Fatalf("object %d differs across runs", i)
+		}
+	}
+}
+
+func TestOnlineLaterWavesCannotEnterPinnedBatch(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 32)
+	s := Online{Epochs: 4, M: 2}
+	res, err := s.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pinned slots are tape indices < d−m = 2. Only wave-0 objects (the
+	// first quarter of IDs) may live there.
+	waveSize := (w.NumObjects() + 3) / 4
+	for i := 0; i < w.NumObjects(); i++ {
+		loc, ok := res.Catalog.Lookup(model.ObjectID(i))
+		if !ok {
+			t.Fatalf("object %d unplaced", i)
+		}
+		if loc.Tape.Index < hw.DrivesPerLib-2 && i >= waveSize {
+			t.Errorf("wave-%d object %d in the always-mounted batch (%v)",
+				i/waveSize, i, loc.Tape)
+		}
+	}
+}
+
+func TestOnlineEpochsOneMatchesStructure(t *testing.T) {
+	// Epochs=1 sees everything at once; its pinned-batch content must
+	// carry at least as much probability as any multi-epoch run's.
+	hw := smallHW()
+	w := smallWL(t, 33)
+	probOfPinned := func(res *Result, dm int) float64 {
+		total := 0.0
+		for k, p := range res.TapeProb {
+			if k.Index < dm {
+				total += p
+			}
+		}
+		return total
+	}
+	one, err := Online{Epochs: 1, M: 2}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Online{Epochs: 4, M: 2}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probOfPinned(one, 2) < probOfPinned(four, 2)-1e-9 {
+		t.Errorf("full knowledge pinned probability %v below 4-epoch %v",
+			probOfPinned(one, 2), probOfPinned(four, 2))
+	}
+}
+
+func TestOnlineRejectsBadConfig(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 34)
+	if _, err := (Online{Epochs: -1, M: 2}).Place(w, hw); err == nil {
+		t.Error("negative epochs accepted")
+	}
+	if _, err := (Online{Epochs: 2, M: hw.DrivesPerLib}).Place(w, hw); err == nil {
+		t.Error("m = d accepted")
+	}
+}
+
+func TestOnlineName(t *testing.T) {
+	if (Online{}).Name() != "online-parallel-batch" {
+		t.Errorf("name = %q", Online{}.Name())
+	}
+}
+
+func TestWaveUnitsRestrictsToWave(t *testing.T) {
+	w := &model.Workload{
+		Objects: []model.Object{
+			{ID: 0, Size: 10}, {ID: 1, Size: 10}, {ID: 2, Size: 10}, {ID: 3, Size: 10},
+		},
+		Requests: []model.Request{
+			{ID: 0, Prob: 0.6, Objects: []model.ObjectID{0, 1, 2}},
+			{ID: 1, Prob: 0.4, Objects: []model.ObjectID{3}},
+		},
+	}
+	probs := w.ObjectProbs()
+	units, err := waveUnits(w, probs, 2, 4) // wave = {2, 3}
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[model.ObjectID]bool{}
+	for _, u := range units {
+		for _, id := range u.objects {
+			if id < 2 || id > 3 {
+				t.Errorf("unit contains out-of-wave object %d", id)
+			}
+			if seen[id] {
+				t.Errorf("object %d in two units", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("wave covered %d objects, want 2", len(seen))
+	}
+}
+
+func TestWaveUnitsNoRequests(t *testing.T) {
+	w := &model.Workload{
+		Objects: []model.Object{{ID: 0, Size: 10}, {ID: 1, Size: 20}},
+	}
+	units, err := waveUnits(w, []float64{0, 0}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Errorf("units = %d, want 2 singletons", len(units))
+	}
+}
+
+func TestOnlinePinnedLayoutShape(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 35)
+	res, err := Online{Epochs: 2, M: 2}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := hw.DrivesPerLib - 2
+	for lib := 0; lib < hw.Libraries; lib++ {
+		for d := 0; d < hw.DrivesPerLib; d++ {
+			if d < dm && res.InitialMounts[lib][d] >= 0 && !res.Pinned[lib][d] {
+				t.Errorf("library %d drive %d mounted but not pinned", lib, d)
+			}
+			if d >= dm && res.Pinned[lib][d] {
+				t.Errorf("library %d switch drive %d pinned", lib, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package placement implements the paper's object placement schemes:
+//
+//   - ParallelBatch — the paper's contribution (§5): density-sorted
+//     sublists matched to tape batches, cluster-preserving refinement,
+//     zigzag load balancing, organ-pipe alignment, and a pinned/switch
+//     drive split per library.
+//   - ObjectProbability — the [11] baseline: rank-dealt placement by
+//     independent object probability with organ-pipe alignment and
+//     least-popular replacement.
+//   - ClusterProbability — the [20] baseline: one co-access cluster per
+//     tape to minimize switches, no transfer parallelism.
+//   - RoundRobin — an extension baseline that stripes objects across all
+//     tapes with no popularity or relationship awareness, isolating the
+//     value of the paper's heuristics.
+//
+// Every scheme consumes a model.Workload plus a tape.Hardware and produces
+// a Result: a fully indexed catalog plus the mount policy (which tapes the
+// drives hold at startup, which drives are pinned, and each tape's
+// accumulated probability for least-popular replacement).
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"paralleltape/internal/catalog"
+	"paralleltape/internal/model"
+	"paralleltape/internal/organpipe"
+	"paralleltape/internal/tape"
+)
+
+// DefaultK is the default tape capacity utilization coefficient k (§5.3
+// step 3, k < 1): tapes are filled to this fraction so refinements have
+// slack.
+const DefaultK = 0.9
+
+// Result is a finished placement.
+type Result struct {
+	Scheme  string
+	Catalog *catalog.Catalog
+	// InitialMounts[lib][drive] is the library-local tape index mounted at
+	// startup, or -1 for an empty drive.
+	InitialMounts [][]int
+	// Pinned[lib][drive] marks drives whose tape is never switched (the
+	// paper's always-mounted batch). Baselines leave all drives false.
+	Pinned [][]bool
+	// TapeProb accumulates object probability per cartridge; the
+	// least-popular replacement policy consults it.
+	TapeProb map[tape.Key]float64
+	// TapesUsed counts non-empty cartridges.
+	TapesUsed int
+}
+
+// Scheme places a workload onto a tape-library system.
+type Scheme interface {
+	Name() string
+	Place(w *model.Workload, hw tape.Hardware) (*Result, error)
+}
+
+// Validate checks the structural soundness of a placement against the
+// workload and hardware: complete single-copy coverage, geometry, and
+// mount-table shape.
+func (r *Result) Validate(w *model.Workload, hw tape.Hardware) error {
+	if r.Catalog == nil {
+		return fmt.Errorf("placement: %s produced no catalog", r.Scheme)
+	}
+	if err := r.Catalog.Validate(w, hw); err != nil {
+		return fmt.Errorf("placement %s: %w", r.Scheme, err)
+	}
+	if len(r.InitialMounts) != hw.Libraries || len(r.Pinned) != hw.Libraries {
+		return fmt.Errorf("placement %s: mount tables sized %d/%d, want %d libraries",
+			r.Scheme, len(r.InitialMounts), len(r.Pinned), hw.Libraries)
+	}
+	for lib := 0; lib < hw.Libraries; lib++ {
+		if len(r.InitialMounts[lib]) != hw.DrivesPerLib || len(r.Pinned[lib]) != hw.DrivesPerLib {
+			return fmt.Errorf("placement %s: library %d mount tables sized %d/%d, want %d drives",
+				r.Scheme, lib, len(r.InitialMounts[lib]), len(r.Pinned[lib]), hw.DrivesPerLib)
+		}
+		seen := make(map[int]bool)
+		for d, ti := range r.InitialMounts[lib] {
+			if ti == -1 {
+				if r.Pinned[lib][d] {
+					return fmt.Errorf("placement %s: library %d drive %d pinned but empty", r.Scheme, lib, d)
+				}
+				continue
+			}
+			if ti < 0 || ti >= hw.TapesPerLib {
+				return fmt.Errorf("placement %s: library %d drive %d mounts tape %d out of range",
+					r.Scheme, lib, d, ti)
+			}
+			if seen[ti] {
+				return fmt.Errorf("placement %s: library %d mounts tape %d on two drives", r.Scheme, lib, ti)
+			}
+			seen[ti] = true
+		}
+	}
+	return nil
+}
+
+// builder accumulates per-tape object lists and finalizes them into
+// organ-pipe-aligned layouts registered in a catalog.
+type builder struct {
+	w        *model.Workload
+	hw       tape.Hardware
+	probs    []float64 // per-object probability
+	contents map[tape.Key][]model.ObjectID
+	used     map[tape.Key]int64
+	order    []tape.Key // creation order, for determinism
+}
+
+func newBuilder(w *model.Workload, hw tape.Hardware) *builder {
+	return &builder{
+		w:        w,
+		hw:       hw,
+		probs:    w.ObjectProbs(),
+		contents: make(map[tape.Key][]model.ObjectID),
+		used:     make(map[tape.Key]int64),
+	}
+}
+
+// add places one object on a cartridge, enforcing the physical capacity.
+func (b *builder) add(k tape.Key, id model.ObjectID) error {
+	size := b.w.Objects[id].Size
+	if b.used[k]+size > b.hw.Capacity {
+		return fmt.Errorf("placement: object %d (%d bytes) overflows %s", id, size, k)
+	}
+	if _, exists := b.contents[k]; !exists {
+		b.order = append(b.order, k)
+	}
+	b.contents[k] = append(b.contents[k], id)
+	b.used[k] += size
+	return nil
+}
+
+// free returns the remaining physical capacity on a cartridge.
+func (b *builder) free(k tape.Key) int64 {
+	return b.hw.Capacity - b.used[k]
+}
+
+// Alignment selects how objects are ordered along one cartridge.
+type Alignment int
+
+const (
+	// AlignOrganPipe is [11]'s arrangement for tapes whose head rests
+	// mid-tape between accesses: hottest object central, popularity
+	// falling towards both ends.
+	AlignOrganPipe Alignment = iota
+	// AlignBOTDescending is [11]'s arrangement for tapes that are always
+	// (re)mounted with the head at the beginning of tape: popularity
+	// descending from BOT, so fresh mounts seek little and rewinds from
+	// the hot region are short.
+	AlignBOTDescending
+	// AlignInsertion keeps the insertion order (ablation baseline).
+	AlignInsertion
+)
+
+// finish aligns each cartridge according to align(key) (§5.3 step 6) and
+// builds the catalog plus the per-tape probability table.
+func (b *builder) finish(align func(tape.Key) Alignment) (*catalog.Catalog, map[tape.Key]float64, error) {
+	cat := catalog.New(b.w.NumObjects())
+	tapeProb := make(map[tape.Key]float64, len(b.contents))
+	for _, k := range b.order {
+		ids := b.contents[k]
+		ordered := ids
+		switch align(k) {
+		case AlignOrganPipe:
+			items := make([]organpipe.Item, len(ids))
+			for i, id := range ids {
+				items[i] = organpipe.Item{Index: i, Weight: b.probs[id]}
+			}
+			arranged := organpipe.Arrange(items)
+			ordered = make([]model.ObjectID, len(ids))
+			for i, it := range arranged {
+				ordered[i] = ids[it.Index]
+			}
+		case AlignBOTDescending:
+			ordered = make([]model.ObjectID, len(ids))
+			copy(ordered, ids)
+			sort.SliceStable(ordered, func(x, y int) bool {
+				px, py := b.probs[ordered[x]], b.probs[ordered[y]]
+				if px != py {
+					return px > py
+				}
+				return ordered[x] < ordered[y]
+			})
+		case AlignInsertion:
+			// keep insertion order
+		}
+		l := tape.NewLayout(k)
+		var prob float64
+		for _, id := range ordered {
+			if _, err := l.Append(id, b.w.Objects[id].Size, b.hw.Capacity); err != nil {
+				return nil, nil, err
+			}
+			prob += b.probs[id]
+		}
+		if err := cat.AddLayout(l); err != nil {
+			return nil, nil, err
+		}
+		tapeProb[k] = prob
+	}
+	return cat, tapeProb, nil
+}
+
+// alignAll returns an alignment function applying one mode everywhere.
+func alignAll(a Alignment) func(tape.Key) Alignment {
+	return func(tape.Key) Alignment { return a }
+}
+
+// roundRobinKey maps a global tape rank to a cartridge, spreading ranks
+// across libraries (rank r → library r mod n, slot r div n) so hot tapes
+// are mountable in parallel.
+func roundRobinKey(rank int, hw tape.Hardware) (tape.Key, error) {
+	k := tape.Key{Library: rank % hw.Libraries, Index: rank / hw.Libraries}
+	if k.Index >= hw.TapesPerLib {
+		return tape.Key{}, fmt.Errorf("placement: rank %d exceeds the %d-cartridge system", rank, hw.TotalTapes())
+	}
+	return k, nil
+}
+
+// hottestMounts builds the baseline mount table: each library mounts its d
+// highest-probability cartridges, no drive pinned.
+func hottestMounts(hw tape.Hardware, tapeProb map[tape.Key]float64) ([][]int, [][]bool) {
+	mounts := make([][]int, hw.Libraries)
+	pinned := make([][]bool, hw.Libraries)
+	for lib := 0; lib < hw.Libraries; lib++ {
+		type tp struct {
+			idx  int
+			prob float64
+		}
+		var cands []tp
+		for k, p := range tapeProb {
+			if k.Library == lib {
+				cands = append(cands, tp{idx: k.Index, prob: p})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].prob != cands[j].prob {
+				return cands[i].prob > cands[j].prob
+			}
+			return cands[i].idx < cands[j].idx
+		})
+		mounts[lib] = make([]int, hw.DrivesPerLib)
+		pinned[lib] = make([]bool, hw.DrivesPerLib)
+		for d := 0; d < hw.DrivesPerLib; d++ {
+			if d < len(cands) {
+				mounts[lib][d] = cands[d].idx
+			} else {
+				mounts[lib][d] = -1
+			}
+		}
+	}
+	return mounts, pinned
+}
+
+// densityOrder returns object IDs sorted by decreasing probability density
+// P(O)/size(O) (§5.3 step 2), ties broken by ID.
+func densityOrder(w *model.Workload, probs []float64) []model.ObjectID {
+	ids := make([]model.ObjectID, w.NumObjects())
+	for i := range ids {
+		ids[i] = model.ObjectID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		da := probs[ids[a]] / float64(w.Objects[ids[a]].Size)
+		db := probs[ids[b]] / float64(w.Objects[ids[b]].Size)
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// probOrder returns object IDs sorted by decreasing probability (the [11]
+// baseline sorts by raw probability, not density), ties broken by ID.
+func probOrder(w *model.Workload, probs []float64) []model.ObjectID {
+	ids := make([]model.ObjectID, w.NumObjects())
+	for i := range ids {
+		ids[i] = model.ObjectID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		if probs[ids[a]] != probs[ids[b]] {
+			return probs[ids[a]] > probs[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// checkFits verifies the workload fits the system at utilization k.
+func checkFits(w *model.Workload, hw tape.Hardware, k float64) error {
+	if k <= 0 || k > 1 {
+		return fmt.Errorf("placement: utilization coefficient k=%v outside (0,1]", k)
+	}
+	budget := int64(float64(hw.TotalCapacity()) * k)
+	if total := w.TotalObjectBytes(); total > budget {
+		return fmt.Errorf("placement: workload (%d bytes) exceeds k-scaled capacity (%d bytes)", total, budget)
+	}
+	for i := range w.Objects {
+		if w.Objects[i].Size > hw.Capacity {
+			return fmt.Errorf("placement: object %d (%d bytes) larger than a cartridge", i, w.Objects[i].Size)
+		}
+	}
+	return nil
+}

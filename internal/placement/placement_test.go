@@ -1,0 +1,553 @@
+package placement
+
+import (
+	"testing"
+
+	"paralleltape/internal/model"
+	"paralleltape/internal/rng"
+	"paralleltape/internal/tape"
+	"paralleltape/internal/units"
+	"paralleltape/internal/workload"
+)
+
+// smallHW is a shrunken but structurally faithful system: 2 libraries,
+// 4 drives each, 10 tapes of 100 KB.
+func smallHW() tape.Hardware {
+	h := tape.DefaultHardware()
+	h.Libraries = 2
+	h.DrivesPerLib = 4
+	h.TapesPerLib = 10
+	h.Capacity = 100 * units.KB
+	return h
+}
+
+// smallWL generates a workload that fits smallHW: 200 objects of 1–4 KB,
+// 20 requests of 5–10 objects.
+func smallWL(t *testing.T, seed uint64) *model.Workload {
+	t.Helper()
+	p := workload.Params{
+		NumObjects:  200,
+		NumRequests: 20,
+		MinObjSize:  1 * units.KB,
+		MaxObjSize:  4 * units.KB,
+		ObjShape:    1.1,
+		MinReqLen:   5,
+		MaxReqLen:   10,
+		ReqLenShape: 1,
+		Alpha:       0.3,
+	}
+	w, err := workload.Generate(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func allSchemes() []Scheme {
+	return []Scheme{
+		ObjectProbability{},
+		ClusterProbability{},
+		ParallelBatch{M: 2},
+		RoundRobin{},
+	}
+}
+
+func TestAllSchemesProduceValidPlacements(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 1)
+	for _, s := range allSchemes() {
+		res, err := s.Place(w, hw)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+			continue
+		}
+		if err := res.Validate(w, hw); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+		if res.TapesUsed <= 0 {
+			t.Errorf("%s: TapesUsed = %d", s.Name(), res.TapesUsed)
+		}
+	}
+}
+
+func TestSchemesDeterministic(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 2)
+	for _, s := range allSchemes() {
+		a, err := s.Place(w, hw)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		b, err := s.Place(w, hw)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for i := 0; i < w.NumObjects(); i++ {
+			la, _ := a.Catalog.Lookup(model.ObjectID(i))
+			lb, _ := b.Catalog.Lookup(model.ObjectID(i))
+			if la != lb {
+				t.Fatalf("%s: object %d at %v vs %v across runs", s.Name(), i, la, lb)
+			}
+		}
+	}
+}
+
+func TestObjectProbabilityHottestTapesFirst(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 3)
+	res, err := ObjectProbability{}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hottest object must sit on one of the first tapes created
+	// (rank 0 → L0.T0 or rank 1 → L1.T0 by round-robin).
+	probs := w.ObjectProbs()
+	hottest := model.ObjectID(0)
+	for i := range probs {
+		if probs[i] > probs[hottest] {
+			hottest = model.ObjectID(i)
+		}
+	}
+	loc, ok := res.Catalog.Lookup(hottest)
+	if !ok {
+		t.Fatal("hottest object unplaced")
+	}
+	if loc.Tape.Index != 0 || loc.Tape.Library != 0 {
+		t.Errorf("hottest object on %v, want the first tape of the first group", loc.Tape)
+	}
+	// Group-level probability must decrease: the first group of n×d tapes
+	// accumulates more probability than the second, and so on.
+	groupWidth := hw.TotalDrives()
+	groupProb := map[int]float64{}
+	for k, p := range res.TapeProb {
+		rank := k.Index*hw.Libraries + k.Library // inverse of roundRobinKey
+		groupProb[rank/groupWidth] += p
+	}
+	for g := 1; g < len(groupProb); g++ {
+		if groupProb[g] > groupProb[g-1]+1e-9 {
+			t.Errorf("group %d prob %v exceeds group %d prob %v",
+				g, groupProb[g], g-1, groupProb[g-1])
+		}
+	}
+}
+
+func TestObjectProbabilityMountsHottest(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 4)
+	res, err := ObjectProbability{}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lib := range res.InitialMounts {
+		mounted := map[int]bool{}
+		for _, ti := range res.InitialMounts[lib] {
+			if ti >= 0 {
+				mounted[ti] = true
+			}
+		}
+		// Every unmounted tape in this library must have probability no
+		// greater than the least popular mounted tape.
+		minMounted := 2.0
+		for ti := range mounted {
+			if p := res.TapeProb[tape.Key{Library: lib, Index: ti}]; p < minMounted {
+				minMounted = p
+			}
+		}
+		for idx := 0; idx < hw.TapesPerLib; idx++ {
+			if mounted[idx] {
+				continue
+			}
+			if p, ok := res.TapeProb[tape.Key{Library: lib, Index: idx}]; ok && p > minMounted+1e-9 {
+				t.Errorf("library %d: unmounted tape %d prob %v exceeds mounted minimum %v",
+					lib, idx, p, minMounted)
+			}
+		}
+	}
+}
+
+func TestClusterProbabilityKeepsClustersTogether(t *testing.T) {
+	// A workload of disjoint requests: each request's objects form one
+	// cluster and must land on a single tape.
+	w := &model.Workload{}
+	for i := 0; i < 30; i++ {
+		w.Objects = append(w.Objects, model.Object{ID: model.ObjectID(i), Size: 5 * units.KB})
+	}
+	for r := 0; r < 3; r++ {
+		var ids []model.ObjectID
+		for o := 0; o < 10; o++ {
+			ids = append(ids, model.ObjectID(r*10+o))
+		}
+		w.Requests = append(w.Requests, model.Request{ID: model.RequestID(r), Prob: 1.0 / 3, Objects: ids})
+	}
+	hw := smallHW() // 100 KB tapes: a 50 KB cluster fits
+	res, err := ClusterProbability{}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(w, hw); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		first, _ := res.Catalog.Lookup(model.ObjectID(r * 10))
+		for o := 1; o < 10; o++ {
+			loc, _ := res.Catalog.Lookup(model.ObjectID(r*10 + o))
+			if loc.Tape != first.Tape {
+				t.Errorf("request %d split across %v and %v", r, first.Tape, loc.Tape)
+			}
+		}
+	}
+}
+
+func TestClusterProbabilityOversizedClusterSpills(t *testing.T) {
+	// One request whose objects exceed a cartridge must still place.
+	w := &model.Workload{}
+	var ids []model.ObjectID
+	for i := 0; i < 40; i++ { // 40 × 5 KB = 200 KB > 100 KB cartridge
+		w.Objects = append(w.Objects, model.Object{ID: model.ObjectID(i), Size: 5 * units.KB})
+		ids = append(ids, model.ObjectID(i))
+	}
+	w.Requests = []model.Request{{ID: 0, Prob: 1, Objects: ids}}
+	hw := smallHW()
+	res, err := ClusterProbability{}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(w, hw); err != nil {
+		t.Fatal(err)
+	}
+	if res.TapesUsed < 3 {
+		t.Errorf("TapesUsed = %d, want >= 3 for a 200 KB cluster on 90 KB-usable tapes", res.TapesUsed)
+	}
+}
+
+func TestParallelBatchPinnedLayout(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 5)
+	res, err := ParallelBatch{M: 2}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(w, hw); err != nil {
+		t.Fatal(err)
+	}
+	dm := hw.DrivesPerLib - 2
+	for lib := 0; lib < hw.Libraries; lib++ {
+		for d := 0; d < hw.DrivesPerLib; d++ {
+			if d < dm {
+				if !res.Pinned[lib][d] && res.InitialMounts[lib][d] != -1 {
+					t.Errorf("library %d drive %d should be pinned", lib, d)
+				}
+				if got := res.InitialMounts[lib][d]; got != -1 && got != d {
+					t.Errorf("library %d pinned drive %d mounts tape %d, want %d", lib, d, got, d)
+				}
+			} else if res.Pinned[lib][d] {
+				t.Errorf("library %d switch drive %d is pinned", lib, d)
+			}
+		}
+	}
+}
+
+func TestParallelBatchSkewedBatchProbability(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 6)
+	res, err := ParallelBatch{M: 2}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch 1 (always mounted: tape indices 0..d-m-1 in each library) must
+	// accumulate more probability than any later batch (§5.3 step 4).
+	dm := hw.DrivesPerLib - 2
+	batchProb := map[int]float64{}
+	for k, p := range res.TapeProb {
+		var bi int
+		if k.Index < dm {
+			bi = 0
+		} else {
+			bi = 1 + (k.Index-dm)/2
+		}
+		batchProb[bi] += p
+	}
+	if batchProb[0] <= batchProb[1] {
+		t.Errorf("batch probabilities not skewed: batch0=%v batch1=%v", batchProb[0], batchProb[1])
+	}
+}
+
+func TestParallelBatchClusterWithinOneBatch(t *testing.T) {
+	// Disjoint-request workload: each request's cluster must stay within
+	// one tape batch (possibly split across that batch's tapes).
+	w := &model.Workload{}
+	for i := 0; i < 40; i++ {
+		w.Objects = append(w.Objects, model.Object{ID: model.ObjectID(i), Size: 4 * units.KB})
+	}
+	for r := 0; r < 4; r++ {
+		var ids []model.ObjectID
+		for o := 0; o < 10; o++ {
+			ids = append(ids, model.ObjectID(r*10+o))
+		}
+		prob := []float64{0.4, 0.3, 0.2, 0.1}[r]
+		w.Requests = append(w.Requests, model.Request{ID: model.RequestID(r), Prob: prob, Objects: ids})
+	}
+	hw := smallHW()
+	res, err := ParallelBatch{M: 2, SplitThreshold: 8 * units.KB}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default narrow hot region: batch 0 spans tape slots 0..d-m-1; later
+	// batches hold m=2 slots each.
+	hot := hw.DrivesPerLib - 2
+	batchOf := func(idx int) int {
+		if idx < hot {
+			return 0
+		}
+		return 1 + (idx-hot)/2
+	}
+	for r := 0; r < 4; r++ {
+		batches := map[int]bool{}
+		for o := 0; o < 10; o++ {
+			loc, _ := res.Catalog.Lookup(model.ObjectID(r*10 + o))
+			batches[batchOf(loc.Tape.Index)] = true
+		}
+		if len(batches) != 1 {
+			t.Errorf("request %d spread across batches %v", r, batches)
+		}
+	}
+}
+
+func TestParallelBatchSplitsLargeClusters(t *testing.T) {
+	// One hot 40 KB cluster with a low split threshold must be spread over
+	// several tapes of its batch for parallel transfer.
+	w := &model.Workload{}
+	var ids []model.ObjectID
+	for i := 0; i < 10; i++ {
+		w.Objects = append(w.Objects, model.Object{ID: model.ObjectID(i), Size: 4 * units.KB})
+		ids = append(ids, model.ObjectID(i))
+	}
+	w.Requests = []model.Request{{ID: 0, Prob: 1, Objects: ids}}
+	hw := smallHW()
+	res, err := ParallelBatch{M: 2, SplitThreshold: 8 * units.KB}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapes := map[tape.Key]bool{}
+	for _, id := range ids {
+		loc, _ := res.Catalog.Lookup(id)
+		tapes[loc.Tape] = true
+	}
+	if len(tapes) < 3 {
+		t.Errorf("hot cluster on %d tapes, want spread across the batch", len(tapes))
+	}
+}
+
+func TestParallelBatchSmallClusterStaysTogether(t *testing.T) {
+	// With a huge split threshold the cluster must stay on one tape.
+	w := &model.Workload{}
+	var ids []model.ObjectID
+	for i := 0; i < 10; i++ {
+		w.Objects = append(w.Objects, model.Object{ID: model.ObjectID(i), Size: 4 * units.KB})
+		ids = append(ids, model.ObjectID(i))
+	}
+	w.Requests = []model.Request{{ID: 0, Prob: 1, Objects: ids}}
+	hw := smallHW()
+	res, err := ParallelBatch{M: 2, SplitThreshold: 1 * units.MB}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapes := map[tape.Key]bool{}
+	for _, id := range ids {
+		loc, _ := res.Catalog.Lookup(id)
+		tapes[loc.Tape] = true
+	}
+	if len(tapes) != 1 {
+		t.Errorf("small cluster on %d tapes, want 1", len(tapes))
+	}
+}
+
+func TestParallelBatchRejectsBadM(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 7)
+	for _, m := range []int{-1, hw.DrivesPerLib, hw.DrivesPerLib + 3} {
+		if _, err := (ParallelBatch{M: m}).Place(w, hw); err == nil {
+			t.Errorf("m=%d accepted", m)
+		}
+	}
+}
+
+func TestParallelBatchAblationsValid(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 8)
+	variants := []ParallelBatch{
+		{M: 2, NoRefine: true},
+		{M: 2, NoOrganPipe: true},
+		{M: 2, FirstFitBalance: true},
+		{M: 2, NoRefine: true, NoOrganPipe: true, FirstFitBalance: true},
+	}
+	for _, v := range variants {
+		res, err := v.Place(w, hw)
+		if err != nil {
+			t.Errorf("%+v: %v", v, err)
+			continue
+		}
+		if err := res.Validate(w, hw); err != nil {
+			t.Errorf("%+v: %v", v, err)
+		}
+	}
+}
+
+func TestRoundRobinSpreadsWide(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 9)
+	res, err := RoundRobin{}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(w, hw); err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive objects land on different tapes.
+	a, _ := res.Catalog.Lookup(0)
+	bLoc, _ := res.Catalog.Lookup(1)
+	if res.TapesUsed > 1 && a.Tape == bLoc.Tape {
+		t.Errorf("objects 0 and 1 on the same tape %v", a.Tape)
+	}
+}
+
+func TestCheckFitsRejections(t *testing.T) {
+	hw := smallHW()
+	w := smallWL(t, 10)
+	if err := checkFits(w, hw, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := checkFits(w, hw, 1.5); err == nil {
+		t.Error("k>1 accepted")
+	}
+	// Oversized object.
+	w2 := &model.Workload{
+		Objects:  []model.Object{{ID: 0, Size: hw.Capacity + 1}},
+		Requests: []model.Request{{ID: 0, Prob: 1, Objects: []model.ObjectID{0}}},
+	}
+	if err := checkFits(w2, hw, 0.9); err == nil {
+		t.Error("object larger than a cartridge accepted")
+	}
+	// Workload larger than the whole system.
+	var big model.Workload
+	for i := 0; i < 30; i++ {
+		big.Objects = append(big.Objects, model.Object{ID: model.ObjectID(i), Size: hw.Capacity})
+	}
+	big.Requests = []model.Request{{ID: 0, Prob: 1, Objects: []model.ObjectID{0}}}
+	if err := checkFits(&big, hw, 0.9); err == nil {
+		t.Error("oversized workload accepted")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	want := map[string]bool{
+		"object-probability": true, "cluster-probability": true,
+		"parallel-batch": true, "round-robin": true,
+	}
+	for _, s := range allSchemes() {
+		if !want[s.Name()] {
+			t.Errorf("unexpected scheme name %q", s.Name())
+		}
+	}
+}
+
+func TestBatchKeys(t *testing.T) {
+	hw := smallHW() // 2 libs, 4 drives, 10 tapes
+	keys, err := batchKeys(0, 1, 3, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 6 { // 2 libs × 3 hot tapes
+		t.Errorf("batch 0 has %d keys", len(keys))
+	}
+	keys, err = batchKeys(2, 1, 3, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0].Index != 4 {
+		t.Errorf("batch 2 keys: %v", keys)
+	}
+	if _, err := batchKeys(99, 1, 3, hw); err == nil {
+		t.Error("out-of-range batch accepted")
+	}
+}
+
+func TestCutSublistsRespectsCapacities(t *testing.T) {
+	w := &model.Workload{}
+	for i := 0; i < 20; i++ {
+		w.Objects = append(w.Objects, model.Object{ID: model.ObjectID(i), Size: 10})
+	}
+	var us []unit
+	for i := 0; i < 20; i++ {
+		us = append(us, unit{objects: []model.ObjectID{model.ObjectID(i)}, bytes: 10, probMass: 1})
+	}
+	subs, err := cutSublists(us, 50, 30, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byteSizes := func(s []unit) int64 {
+		var total int64
+		for _, u := range s {
+			total += u.bytes
+		}
+		return total
+	}
+	if byteSizes(subs[0]) > 50 {
+		t.Errorf("sublist 0 holds %d bytes, cap 50", byteSizes(subs[0]))
+	}
+	for i := 1; i < len(subs); i++ {
+		if byteSizes(subs[i]) > 30 {
+			t.Errorf("sublist %d holds %d bytes, cap 30", i, byteSizes(subs[i]))
+		}
+	}
+	// All 20 units accounted for.
+	n := 0
+	for _, s := range subs {
+		for _, u := range s {
+			n += len(u.objects)
+		}
+	}
+	if n != 20 {
+		t.Errorf("sublists hold %d objects, want 20", n)
+	}
+}
+
+func TestCutSublistsFragmentsOversizedUnit(t *testing.T) {
+	w := &model.Workload{}
+	var ids []model.ObjectID
+	for i := 0; i < 10; i++ {
+		w.Objects = append(w.Objects, model.Object{ID: model.ObjectID(i), Size: 10})
+		ids = append(ids, model.ObjectID(i))
+	}
+	big := unit{objects: ids, bytes: 100, probMass: 1}
+	subs, err := cutSublists([]unit{big}, 30, 30, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) < 3 {
+		t.Errorf("oversized unit in %d sublists, want >= 3", len(subs))
+	}
+}
+
+func TestPaperScalePlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale placement in -short mode")
+	}
+	hw := tape.DefaultHardware()
+	w, err := workload.Generate(workload.Defaults(), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheme{ObjectProbability{}, ParallelBatch{M: 4}} {
+		res, err := s.Place(w, hw)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := res.Validate(w, hw); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.TapesUsed > hw.TotalTapes() {
+			t.Errorf("%s: used %d tapes of %d", s.Name(), res.TapesUsed, hw.TotalTapes())
+		}
+	}
+}

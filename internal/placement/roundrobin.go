@@ -1,0 +1,94 @@
+package placement
+
+import (
+	"paralleltape/internal/model"
+	"paralleltape/internal/tape"
+)
+
+// RoundRobin is an extension baseline (not from the paper): objects are
+// dealt across all cartridges of the system in ID order like cards, with
+// no popularity or relationship awareness. It maximizes transfer
+// parallelism the naive way — every request touches nearly every tape — and
+// therefore shows what the paper's heuristics buy over raw striping-style
+// spreading (§2 discusses why whole-request striping underperforms on
+// tape).
+type RoundRobin struct {
+	// K is the capacity utilization coefficient; zero means DefaultK.
+	K float64
+}
+
+// Name implements Scheme.
+func (s RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Scheme.
+func (s RoundRobin) Place(w *model.Workload, hw tape.Hardware) (*Result, error) {
+	k := s.K
+	if k == 0 {
+		k = DefaultK
+	}
+	if err := checkFits(w, hw, k); err != nil {
+		return nil, err
+	}
+	b := newBuilder(w, hw)
+	kCap := int64(float64(hw.Capacity) * k)
+	// Estimate the stripe width from the bytes that must land on each
+	// cartridge, then deal objects across exactly that many cartridges.
+	total := w.TotalObjectBytes()
+	width := int(total/kCap) + 1
+	if width > hw.TotalTapes() {
+		width = hw.TotalTapes()
+	}
+	budgets := make([]int64, width)
+	keys := make([]tape.Key, width)
+	for i := range keys {
+		var err error
+		if keys[i], err = roundRobinKey(i, hw); err != nil {
+			return nil, err
+		}
+		budgets[i] = kCap
+	}
+	next := 0
+	for i := range w.Objects {
+		id := model.ObjectID(i)
+		size := w.Objects[i].Size
+		placed := false
+		for tries := 0; tries < width; tries++ {
+			slot := (next + tries) % width
+			if budgets[slot] >= size || budgets[slot] == kCap {
+				if err := b.add(keys[slot], id); err != nil {
+					return nil, err
+				}
+				budgets[slot] -= size
+				next = (slot + 1) % width
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// All stripes full: widen onto a fresh cartridge.
+			key, err := roundRobinKey(width, hw)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, key)
+			budgets = append(budgets, kCap-size)
+			width++
+			if err := b.add(key, id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cat, tapeProb, err := b.finish(alignAll(AlignOrganPipe))
+	if err != nil {
+		return nil, err
+	}
+	mounts, pinned := hottestMounts(hw, tapeProb)
+	return &Result{
+		Scheme:        s.Name(),
+		Catalog:       cat,
+		InitialMounts: mounts,
+		Pinned:        pinned,
+		TapeProb:      tapeProb,
+		TapesUsed:     width,
+	}, nil
+}

@@ -1,0 +1,143 @@
+// Package sim is a small deterministic discrete-event simulation kernel.
+//
+// The tape-system simulator (package tapesys) is built on three primitives:
+//
+//   - Engine: a virtual clock plus a time-ordered event queue. Events
+//     scheduled for the same instant fire in scheduling order, so runs are
+//     fully deterministic.
+//   - Resource: a FIFO-queued exclusive resource (the paper's robot arm —
+//     one per library — is the canonical user).
+//   - Latch: a countdown latch used to detect when the last of a set of
+//     parallel activities (all drives serving one request) completes.
+//
+// The kernel is callback-based rather than goroutine-based: each simulated
+// activity schedules its continuation. This keeps a full multi-library
+// simulation single-threaded and reproducible; parallelism is applied one
+// level up, across independent simulation runs (see internal/experiments).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated instant in seconds from the start of the run.
+type Time = float64
+
+// event is one pending callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation clock and event queue. The zero value is ready
+// to use at time 0.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stepped uint64 // events executed, for diagnostics and runaway guards
+	limit   uint64 // optional max events (0 = unlimited)
+}
+
+// NewEngine returns an Engine starting at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.stepped }
+
+// SetEventLimit installs a safety cap on the number of events Run will
+// execute; Run panics when it is exceeded. Zero disables the cap.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Schedule runs fn after delay simulated seconds. A negative or NaN delay
+// panics: in this simulator a negative latency is always a modelling bug
+// and silently clamping it would corrupt causality.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Immediately runs fn at the current instant, after all callbacks already
+// scheduled for this instant.
+func (e *Engine) Immediately(fn func()) { e.Schedule(0, fn) }
+
+// Run executes events in time order until the queue is empty and returns
+// the final clock value.
+func (e *Engine) Run() Time {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		e.stepped++
+		if e.limit > 0 && e.stepped > e.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.limit, e.now))
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events whose time is <= deadline, leaves later events
+// queued, and advances the clock to min(deadline, last event time). It
+// returns true if the queue was drained.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for len(e.queue) > 0 {
+		if e.queue[0].at > deadline {
+			e.now = deadline
+			return false
+		}
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		e.stepped++
+		if e.limit > 0 && e.stepped > e.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.limit, e.now))
+		}
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return true
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

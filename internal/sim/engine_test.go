@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.Schedule(d, func() { order = append(order, d) })
+	}
+	end := e.Run()
+	if end != 5 {
+		t.Errorf("final time = %v, want 5", end)
+	}
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events fired out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Errorf("fired %d events, want 5", len(order))
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(2, func() {
+			times = append(times, e.Now())
+			e.Schedule(3, func() { times = append(times, e.Now()) })
+		})
+	})
+	e.Run()
+	want := []float64{1, 3, 6}
+	if len(times) != 3 {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times[%d] = %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestEngineImmediatelyOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(0, func() { order = append(order, "a") })
+	e.Immediately(func() { order = append(order, "b") })
+	e.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEngineAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	NewEngine().At(0, nil)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for _, d := range []float64{1, 2, 3, 4} {
+		e.Schedule(d, func() { fired++ })
+	}
+	drained := e.RunUntil(2.5)
+	if drained {
+		t.Error("RunUntil(2.5) claimed drained")
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Errorf("Now = %v, want 2.5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	if !e.RunUntil(100) {
+		t.Error("second RunUntil should drain")
+	}
+	if fired != 4 {
+		t.Errorf("fired = %d, want 4", fired)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Errorf("Now = %v, want 42", e.Now())
+	}
+}
+
+func TestEngineEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(10)
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("event limit did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestEngineSteps(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	e.Run()
+	if e.Steps() != 7 {
+		t.Errorf("Steps = %d, want 7", e.Steps())
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		var trace []float64
+		var recur func(depth int)
+		recur = func(depth int) {
+			trace = append(trace, e.Now())
+			if depth == 0 {
+				return
+			}
+			e.Schedule(0.5, func() { recur(depth - 1) })
+			e.Schedule(1.5, func() { recur(depth - 1) })
+		}
+		e.Schedule(0, func() { recur(6) })
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineQuickSortedFiring(t *testing.T) {
+	// Property: however delays are chosen, firing order is non-decreasing.
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var seen []float64
+		for _, r := range raw {
+			d := float64(r) / 100
+			e.Schedule(d, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		return sort.Float64sAreSorted(seen) && len(seen) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+// Process-style modeling on top of the callback engine. The tape simulator
+// itself uses callbacks (simple, allocation-light), but extensions often
+// read more naturally as sequential processes: a goroutine that sleeps in
+// simulated time and acquires resources with blocking calls.
+//
+// Determinism is preserved by a strict run-to-completion handshake: the
+// engine never advances while a process goroutine is runnable, and at most
+// one process goroutine runs at any instant. A process therefore behaves
+// exactly like a callback chain, written straight-line.
+
+// Proc is the handle a process uses to interact with simulated time. It is
+// only valid inside the function passed to Engine.Go.
+type Proc struct {
+	eng    *Engine
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+// Go starts fn as a simulated process at the current instant. fn runs on
+// its own goroutine but in lockstep with the engine: the engine waits
+// whenever the process is runnable, and the process waits (via Sleep /
+// Acquire) for its next simulated event. fn must block only through the
+// Proc methods — blocking on anything else deadlocks the simulation.
+func (e *Engine) Go(fn func(p *Proc)) {
+	if fn == nil {
+		panic("sim: Go with nil process body")
+	}
+	p := &Proc{eng: e, resume: make(chan struct{}), yield: make(chan struct{})}
+	e.Immediately(func() {
+		go func() {
+			fn(p)
+			p.yield <- struct{}{} // final yield: process finished
+		}()
+		<-p.yield // run the process until its first block (or completion)
+	})
+}
+
+// block parks the process and hands control back to the engine; the
+// returned function is called by an engine event to resume the process and
+// wait for its next block.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake is the engine-side half: resume the process, then wait until it
+// blocks again (or finishes).
+func (p *Proc) wake() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Sleep suspends the process for d simulated seconds.
+func (p *Proc) Sleep(d float64) {
+	p.eng.Schedule(d, p.wake)
+	p.block()
+}
+
+// Acquire blocks the process until the resource is granted and returns the
+// grant (release it with Grant.Release, immediately or after more Sleeps).
+func (p *Proc) Acquire(r *Resource) *Grant {
+	var g *Grant
+	r.Acquire(func(grant *Grant) {
+		g = grant
+		p.wake()
+	})
+	p.block()
+	return g
+}
+
+// WaitLatch blocks the process until the latch completes. The latch must
+// not already have a waiter. If the latch is already complete the process
+// continues immediately.
+func (p *Proc) WaitLatch(l *Latch) {
+	fired := false
+	blocked := false
+	l.Wait(func() {
+		fired = true
+		if blocked {
+			// Fired later, from engine context: resume the process.
+			p.wake()
+		}
+	})
+	if fired {
+		return // fired synchronously while the process was running
+	}
+	blocked = true
+	p.block()
+}

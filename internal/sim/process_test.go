@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestProcSleepSequence(t *testing.T) {
+	e := NewEngine()
+	var log []string
+	e.Go(func(p *Proc) {
+		log = append(log, fmt.Sprintf("start@%v", p.Now()))
+		p.Sleep(5)
+		log = append(log, fmt.Sprintf("mid@%v", p.Now()))
+		p.Sleep(2.5)
+		log = append(log, fmt.Sprintf("end@%v", p.Now()))
+	})
+	e.Run()
+	want := []string{"start@0", "mid@5", "end@7.5"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
+func TestProcInterleavesDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		e.Go(func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(2)
+				log = append(log, fmt.Sprintf("A%v", p.Now()))
+			}
+		})
+		e.Go(func(p *Proc) {
+			for i := 0; i < 2; i++ {
+				p.Sleep(3)
+				log = append(log, fmt.Sprintf("B%v", p.Now()))
+			}
+		})
+		e.Run()
+		return log
+	}
+	a := run()
+	// At the t=6 tie, B's wake event was scheduled first (at t=3, vs A's
+	// at t=4), so B runs first — FIFO among same-instant events.
+	want := []string{"A2", "B3", "A4", "B6", "A6"}
+	if len(a) != len(want) {
+		t.Fatalf("log = %v", a)
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("log = %v, want %v", a, want)
+		}
+	}
+	// Bit-identical across repetitions.
+	for trial := 0; trial < 20; trial++ {
+		b := run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestProcMixedWithCallbacks(t *testing.T) {
+	e := NewEngine()
+	var log []string
+	e.Schedule(1, func() { log = append(log, "cb1") })
+	e.Go(func(p *Proc) {
+		p.Sleep(0.5)
+		log = append(log, "proc0.5")
+		p.Sleep(1)
+		log = append(log, "proc1.5")
+	})
+	e.Schedule(2, func() { log = append(log, "cb2") })
+	e.Run()
+	want := []string{"proc0.5", "cb1", "proc1.5", "cb2"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Errorf("log = %v, want %v", log, want)
+	}
+}
+
+func TestProcAcquireResource(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "robot")
+	var log []string
+	worker := func(name string, hold float64) func(*Proc) {
+		return func(p *Proc) {
+			g := p.Acquire(r)
+			log = append(log, fmt.Sprintf("%s-acq@%v", name, p.Now()))
+			p.Sleep(hold)
+			g.Release()
+			log = append(log, fmt.Sprintf("%s-rel@%v", name, p.Now()))
+		}
+	}
+	e.Go(worker("a", 4))
+	e.Go(worker("b", 2))
+	e.Run()
+	want := []string{"a-acq@0", "a-rel@4", "b-acq@4", "b-rel@6"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Errorf("log = %v, want %v", log, want)
+	}
+}
+
+func TestProcWaitLatch(t *testing.T) {
+	e := NewEngine()
+	l := NewLatch(2)
+	var doneAt float64 = -1
+	e.Go(func(p *Proc) {
+		p.WaitLatch(l)
+		doneAt = p.Now()
+	})
+	e.Schedule(3, l.Done)
+	e.Schedule(7, l.Done)
+	e.Run()
+	if doneAt != 7 {
+		t.Errorf("latch released process at %v, want 7", doneAt)
+	}
+}
+
+func TestProcWaitLatchAlreadyFired(t *testing.T) {
+	e := NewEngine()
+	l := NewLatch(0)
+	reached := false
+	e.Go(func(p *Proc) {
+		p.WaitLatch(l)
+		reached = true
+	})
+	e.Run()
+	if !reached {
+		t.Error("process stuck on completed latch")
+	}
+}
+
+func TestProcNilBodyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil process body accepted")
+		}
+	}()
+	NewEngine().Go(nil)
+}
+
+// TestProcPipeline models a two-stage pipeline (fetch robot → stream) as
+// processes, the style extensions can use instead of callbacks.
+func TestProcPipeline(t *testing.T) {
+	e := NewEngine()
+	robot := NewResource(e, "robot")
+	finished := make([]float64, 0, 3)
+	for i := 0; i < 3; i++ {
+		e.Go(func(p *Proc) {
+			g := p.Acquire(robot)
+			p.Sleep(7.6) // fetch
+			g.Release()
+			p.Sleep(19)  // load
+			p.Sleep(100) // stream
+			finished = append(finished, p.Now())
+		})
+	}
+	e.Run()
+	want := []float64{126.6, 134.2, 141.8}
+	if len(finished) != 3 {
+		t.Fatalf("finished = %v", finished)
+	}
+	for i := range want {
+		if diff := finished[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("finished[%d] = %v, want %v", i, finished[i], want[i])
+		}
+	}
+}
+
+// ExampleEngine_Go demonstrates process-style simulation.
+func ExampleEngine_Go() {
+	e := NewEngine()
+	drive := NewResource(e, "drive")
+	for i := 1; i <= 2; i++ {
+		id := i
+		e.Go(func(p *Proc) {
+			g := p.Acquire(drive)
+			p.Sleep(10) // stream one object
+			g.Release()
+			fmt.Printf("job %d done at t=%v\n", id, p.Now())
+		})
+	}
+	e.Run()
+	// Output:
+	// job 1 done at t=10
+	// job 2 done at t=20
+}

@@ -1,0 +1,176 @@
+package sim
+
+// Resource is an exclusive, FIFO-queued simulated resource. The paper's
+// robot arm (one per tape library, serializing all mount/unmount traffic in
+// that library) maps directly onto it: each tape switch acquires the robot,
+// holds it for the cartridge moves, and releases it.
+//
+// Acquire never blocks the caller; instead the grant callback fires (via the
+// engine) once the resource is free, at which point the holder must
+// eventually call Release exactly once.
+type Resource struct {
+	eng   *Engine
+	name  string
+	busy  bool
+	queue []func(g *Grant)
+
+	// accounting
+	acquisitions int
+	busySince    Time
+	busyTotal    float64
+	waitTotal    float64
+	maxQueue     int
+}
+
+// Grant represents one ownership period of a Resource. Release it when the
+// simulated work holding the resource finishes.
+type Grant struct {
+	r        *Resource
+	released bool
+}
+
+// NewResource creates a named resource attached to an engine.
+func NewResource(eng *Engine, name string) *Resource {
+	if eng == nil {
+		panic("sim: NewResource with nil engine")
+	}
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire requests exclusive use. fn is invoked (through the engine, at the
+// current instant or later) once the resource is granted.
+func (r *Resource) Acquire(fn func(g *Grant)) {
+	if fn == nil {
+		panic("sim: Acquire with nil callback")
+	}
+	requested := r.eng.Now()
+	wrapped := func(g *Grant) {
+		r.waitTotal += r.eng.Now() - requested
+		fn(g)
+	}
+	if !r.busy {
+		r.busy = true
+		r.busySince = r.eng.Now()
+		r.acquisitions++
+		r.eng.Immediately(func() { wrapped(&Grant{r: r}) })
+		return
+	}
+	r.queue = append(r.queue, wrapped)
+	if len(r.queue) > r.maxQueue {
+		r.maxQueue = len(r.queue)
+	}
+}
+
+// Release ends the grant and hands the resource to the next waiter, if any.
+// Releasing twice panics — double release means two simulated activities
+// believed they owned the robot at once.
+func (g *Grant) Release() {
+	if g.released {
+		panic("sim: Grant released twice on resource " + g.r.name)
+	}
+	g.released = true
+	r := g.r
+	r.busyTotal += r.eng.Now() - r.busySince
+	if len(r.queue) == 0 {
+		r.busy = false
+		return
+	}
+	next := r.queue[0]
+	r.queue = r.queue[1:]
+	r.busySince = r.eng.Now()
+	r.acquisitions++
+	r.eng.Immediately(func() { next(&Grant{r: r}) })
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of waiters.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Stats summarizes utilization over the run so far.
+type ResourceStats struct {
+	Acquisitions int
+	BusyTotal    float64 // total seconds held
+	WaitTotal    float64 // total seconds waiters spent queued
+	MaxQueue     int
+}
+
+// Stats returns a snapshot of the resource accounting.
+func (r *Resource) Stats() ResourceStats {
+	busy := r.busyTotal
+	if r.busy {
+		busy += r.eng.Now() - r.busySince
+	}
+	return ResourceStats{
+		Acquisitions: r.acquisitions,
+		BusyTotal:    busy,
+		WaitTotal:    r.waitTotal,
+		MaxQueue:     r.maxQueue,
+	}
+}
+
+// Latch is a countdown latch: Done must be called Count times, after which
+// the completion callback fires. It detects "last drive finished serving
+// this request".
+type Latch struct {
+	remaining int
+	fired     bool
+	onZero    func()
+}
+
+// NewLatch returns a latch expecting count completions. count 0 fires
+// immediately when Wait is armed.
+func NewLatch(count int) *Latch {
+	if count < 0 {
+		panic("sim: NewLatch with negative count")
+	}
+	return &Latch{remaining: count}
+}
+
+// Add increases the expected completion count. It panics if the latch
+// already fired — adding after completion is a scheduling bug.
+func (l *Latch) Add(n int) {
+	if l.fired {
+		panic("sim: Latch.Add after completion")
+	}
+	if n < 0 {
+		panic("sim: Latch.Add with negative n")
+	}
+	l.remaining += n
+}
+
+// Wait arms the completion callback. If the count is already zero the
+// callback fires synchronously.
+func (l *Latch) Wait(fn func()) {
+	if l.onZero != nil {
+		panic("sim: Latch.Wait called twice")
+	}
+	if fn == nil {
+		panic("sim: Latch.Wait with nil callback")
+	}
+	l.onZero = fn
+	l.maybeFire()
+}
+
+// Done records one completion.
+func (l *Latch) Done() {
+	if l.remaining <= 0 {
+		panic("sim: Latch.Done called more times than Add'ed")
+	}
+	l.remaining--
+	l.maybeFire()
+}
+
+// Remaining returns the outstanding completion count.
+func (l *Latch) Remaining() int { return l.remaining }
+
+func (l *Latch) maybeFire() {
+	if l.remaining == 0 && l.onZero != nil && !l.fired {
+		l.fired = true
+		l.onZero()
+	}
+}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestResourceExclusive(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "robot")
+	var order []string
+	// Holder 1 takes the resource for 10s; holder 2 requests at t=1 and
+	// must wait until t=10.
+	e.Schedule(0, func() {
+		r.Acquire(func(g *Grant) {
+			order = append(order, "a-acquired")
+			e.Schedule(10, func() {
+				order = append(order, "a-release")
+				g.Release()
+			})
+		})
+	})
+	e.Schedule(1, func() {
+		r.Acquire(func(g *Grant) {
+			if e.Now() != 10 {
+				t.Errorf("second grant at t=%v, want 10", e.Now())
+			}
+			order = append(order, "b-acquired")
+			g.Release()
+		})
+	})
+	e.Run()
+	want := []string{"a-acquired", "a-release", "b-acquired"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "robot")
+	var served []int
+	e.Schedule(0, func() {
+		r.Acquire(func(g *Grant) {
+			e.Schedule(5, func() { g.Release() })
+		})
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(float64(i)+0.1, func() {
+			r.Acquire(func(g *Grant) {
+				served = append(served, i)
+				e.Schedule(1, func() { g.Release() })
+			})
+		})
+	}
+	e.Run()
+	for i, v := range served {
+		if v != i {
+			t.Fatalf("service order %v not FIFO", served)
+		}
+	}
+}
+
+func TestResourceImmediateWhenFree(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "robot")
+	granted := -1.0
+	e.Schedule(3, func() {
+		r.Acquire(func(g *Grant) {
+			granted = e.Now()
+			g.Release()
+		})
+	})
+	e.Run()
+	if granted != 3 {
+		t.Errorf("grant at t=%v, want 3 (no artificial delay)", granted)
+	}
+}
+
+func TestResourceDoubleReleasePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "robot")
+	e.Schedule(0, func() {
+		r.Acquire(func(g *Grant) {
+			g.Release()
+			defer func() {
+				if recover() == nil {
+					t.Error("double release did not panic")
+				}
+			}()
+			g.Release()
+		})
+	})
+	e.Run()
+}
+
+func TestResourceStats(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "robot")
+	// Two holders, 10s each, second queues at t=0 and waits 10s.
+	for i := 0; i < 2; i++ {
+		e.Schedule(0, func() {
+			r.Acquire(func(g *Grant) {
+				e.Schedule(10, func() { g.Release() })
+			})
+		})
+	}
+	e.Run()
+	s := r.Stats()
+	if s.Acquisitions != 2 {
+		t.Errorf("Acquisitions = %d, want 2", s.Acquisitions)
+	}
+	if s.BusyTotal != 20 {
+		t.Errorf("BusyTotal = %v, want 20", s.BusyTotal)
+	}
+	if s.WaitTotal != 10 {
+		t.Errorf("WaitTotal = %v, want 10", s.WaitTotal)
+	}
+	if s.MaxQueue != 1 {
+		t.Errorf("MaxQueue = %d, want 1", s.MaxQueue)
+	}
+}
+
+func TestResourceBusyAndQueueLen(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "robot")
+	if r.Busy() {
+		t.Error("fresh resource busy")
+	}
+	e.Schedule(0, func() {
+		r.Acquire(func(g *Grant) { e.Schedule(5, g.Release) })
+		r.Acquire(func(g *Grant) { g.Release() })
+		r.Acquire(func(g *Grant) { g.Release() })
+	})
+	e.Schedule(1, func() {
+		if !r.Busy() {
+			t.Error("resource not busy at t=1")
+		}
+		if r.QueueLen() != 2 {
+			t.Errorf("QueueLen = %d, want 2", r.QueueLen())
+		}
+	})
+	e.Run()
+	if r.Busy() {
+		t.Error("resource busy after drain")
+	}
+}
+
+func TestResourceNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewResource(nil) did not panic")
+		}
+	}()
+	NewResource(nil, "x")
+}
+
+func TestLatchFiresAtZero(t *testing.T) {
+	e := NewEngine()
+	l := NewLatch(3)
+	firedAt := -1.0
+	l.Wait(func() { firedAt = e.Now() })
+	for _, d := range []float64{2, 4, 9} {
+		e.Schedule(d, l.Done)
+	}
+	e.Run()
+	if firedAt != 9 {
+		t.Errorf("latch fired at %v, want 9", firedAt)
+	}
+}
+
+func TestLatchZeroCountFiresOnWait(t *testing.T) {
+	fired := false
+	NewLatch(0).Wait(func() { fired = true })
+	if !fired {
+		t.Error("zero-count latch did not fire on Wait")
+	}
+}
+
+func TestLatchAdd(t *testing.T) {
+	l := NewLatch(1)
+	l.Add(2)
+	fired := false
+	l.Wait(func() { fired = true })
+	l.Done()
+	l.Done()
+	if fired {
+		t.Error("latch fired early")
+	}
+	l.Done()
+	if !fired {
+		t.Error("latch never fired")
+	}
+	if l.Remaining() != 0 {
+		t.Errorf("Remaining = %d", l.Remaining())
+	}
+}
+
+func TestLatchOverdonePanics(t *testing.T) {
+	l := NewLatch(1)
+	l.Done()
+	defer func() {
+		if recover() == nil {
+			t.Error("extra Done did not panic")
+		}
+	}()
+	l.Done()
+}
+
+func TestLatchDoubleWaitPanics(t *testing.T) {
+	l := NewLatch(1)
+	l.Wait(func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("double Wait did not panic")
+		}
+	}()
+	l.Wait(func() {})
+}
+
+func TestLatchAddAfterFirePanics(t *testing.T) {
+	l := NewLatch(0)
+	l.Wait(func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Add after fire did not panic")
+		}
+	}()
+	l.Add(1)
+}
+
+// TestRobotScenario models the paper's core contention pattern: three tape
+// switches contending for one robot; each needs the robot for 2×7.6s of
+// cartridge moves; switches requested simultaneously serialize.
+func TestRobotScenario(t *testing.T) {
+	e := NewEngine()
+	robot := NewResource(e, "robot")
+	const moveTime = 7.6
+	var finishTimes []float64
+	for i := 0; i < 3; i++ {
+		e.Schedule(0, func() {
+			robot.Acquire(func(g *Grant) {
+				e.Schedule(2*moveTime, func() {
+					finishTimes = append(finishTimes, e.Now())
+					g.Release()
+				})
+			})
+		})
+	}
+	e.Run()
+	want := []float64{15.2, 30.4, 45.6}
+	if len(finishTimes) != 3 {
+		t.Fatalf("finishTimes = %v", finishTimes)
+	}
+	for i := range want {
+		if diff := finishTimes[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("switch %d finished at %v, want %v", i, finishTimes[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package tapesys
+
+// Cross-scheme invariant harness: every placement scheme × random workload
+// must satisfy the simulator's global conservation laws. These tests are
+// the closest thing the simulator has to a model checker — any future
+// change to scheduling, placement, or the motion model that breaks
+// causality or loses bytes fails here.
+
+import (
+	"testing"
+
+	"paralleltape/internal/model"
+	"paralleltape/internal/placement"
+	"paralleltape/internal/rng"
+	"paralleltape/internal/tape"
+	"paralleltape/internal/units"
+	"paralleltape/internal/workload"
+)
+
+// invariantHW builds a mid-size system exercising switching.
+func invariantHW() tape.Hardware {
+	hw := tape.DefaultHardware()
+	hw.Libraries = 2
+	hw.DrivesPerLib = 3
+	hw.TapesPerLib = 24
+	hw.Capacity = 120 * units.MB
+	return hw
+}
+
+func invariantWorkload(t *testing.T, seed uint64) *model.Workload {
+	t.Helper()
+	p := workload.Params{
+		NumObjects:  700,
+		NumRequests: 35,
+		MinObjSize:  512 * units.KB,
+		MaxObjSize:  3 * units.MB,
+		ObjShape:    1.1,
+		MinReqLen:   8,
+		MaxReqLen:   18,
+		ReqLenShape: 1,
+		Alpha:       0.4,
+	}
+	w, err := workload.Generate(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func invariantSchemes() []placement.Scheme {
+	return []placement.Scheme{
+		placement.ParallelBatch{M: 1},
+		placement.ObjectProbability{},
+		placement.ClusterProbability{},
+		placement.RoundRobin{},
+		placement.Online{Epochs: 3, M: 1},
+	}
+}
+
+func TestSimulatorInvariants(t *testing.T) {
+	hw := invariantHW()
+	for _, seed := range []uint64{1, 2, 3} {
+		w := invariantWorkload(t, seed)
+		for _, sch := range invariantSchemes() {
+			pr, err := sch.Place(w, hw)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, sch.Name(), err)
+			}
+			if err := pr.Validate(w, hw); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, sch.Name(), err)
+			}
+			sys, err := New(hw, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := workload.NewRequestStream(w, rng.New(seed*31+7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lastNow float64
+			var totalBytes int64
+			var totalSwitches int
+			for i := 0; i < 30; i++ {
+				r := stream.Next()
+				m, err := sys.Submit(r)
+				if err != nil {
+					t.Fatalf("seed %d %s req %d: %v", seed, sch.Name(), i, err)
+				}
+				// (1) Byte conservation: exactly the requested bytes move.
+				if m.Bytes != w.RequestBytes(r) {
+					t.Fatalf("%s: request %d moved %d bytes, want %d",
+						sch.Name(), i, m.Bytes, w.RequestBytes(r))
+				}
+				// (2) Causality: the clock only advances, by the response.
+				if sys.Now() < lastNow {
+					t.Fatalf("%s: clock went backwards", sch.Name())
+				}
+				if diff := sys.Now() - lastNow - m.Response; diff > 1e-6 || diff < -1e-6 {
+					t.Fatalf("%s: response %v inconsistent with clock advance %v",
+						sch.Name(), m.Response, sys.Now()-lastNow)
+				}
+				lastNow = sys.Now()
+				// (3) Physical floor: a request can never beat streaming
+				// its largest single-tape group at the native rate.
+				if m.Response < float64(m.Bytes)/(hw.TransferRate*float64(hw.TotalDrives()))-1e-6 {
+					t.Fatalf("%s: response %v below the physical floor", sch.Name(), m.Response)
+				}
+				// (4) Decomposition: components are non-negative and the
+				// last drive's seek+transfer never exceeds the response.
+				if m.Switch < 0 || m.Seek < 0 || m.Transfer < 0 {
+					t.Fatalf("%s: negative component %+v", sch.Name(), m)
+				}
+				if m.Seek+m.Transfer > m.Response+1e-6 {
+					t.Fatalf("%s: seek+transfer %v exceeds response %v",
+						sch.Name(), m.Seek+m.Transfer, m.Response)
+				}
+				// (5) Sum over drives covers the whole request's work.
+				if m.SumTransfer < m.Transfer-1e-9 {
+					t.Fatalf("%s: per-drive transfer sum below last drive's", sch.Name())
+				}
+				// (6) Structural counters.
+				if m.DrivesUsed < 1 || m.DrivesUsed > hw.TotalDrives() {
+					t.Fatalf("%s: DrivesUsed %d out of range", sch.Name(), m.DrivesUsed)
+				}
+				if m.TapesTouched < 1 || m.TapesTouched > hw.TotalTapes() {
+					t.Fatalf("%s: TapesTouched %d out of range", sch.Name(), m.TapesTouched)
+				}
+				if m.MountedRatio < 0 || m.MountedRatio > 1+1e-9 {
+					t.Fatalf("%s: MountedRatio %v out of range", sch.Name(), m.MountedRatio)
+				}
+				totalBytes += m.Bytes
+				totalSwitches += m.Switches
+			}
+			// (7) Mounted tapes never exceed working drives, per library.
+			for lib, mounted := range sys.MountedTapes() {
+				if len(mounted) > hw.DrivesPerLib {
+					t.Fatalf("%s: library %d has %d mounted tapes for %d drives",
+						sch.Name(), lib, len(mounted), hw.DrivesPerLib)
+				}
+			}
+			// (8) Lifetime counters agree.
+			if sys.TotalSwitches() != totalSwitches {
+				t.Fatalf("%s: lifetime switches %d vs summed %d",
+					sch.Name(), sys.TotalSwitches(), totalSwitches)
+			}
+			// (9) Drive accounting: bytes moved across drives equals the
+			// bytes requested across the session.
+			var moved int64
+			for _, d := range sys.DriveReport() {
+				moved += d.BytesMoved
+				if d.BusySeconds < 0 || d.SwitchSeconds < 0 {
+					t.Fatalf("%s: negative drive accounting %+v", sch.Name(), d)
+				}
+			}
+			if moved != totalBytes {
+				t.Fatalf("%s: drives moved %d bytes, requests asked %d",
+					sch.Name(), moved, totalBytes)
+			}
+		}
+	}
+}
+
+// TestInvariantsUnderFailures reruns the core invariants while drives fail
+// between requests.
+func TestInvariantsUnderFailures(t *testing.T) {
+	hw := invariantHW()
+	w := invariantWorkload(t, 9)
+	pr, err := placement.ParallelBatch{M: 2}.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(hw, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.NewRequestStream(w, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := []struct{ at, lib, drive int }{
+		{5, 0, 0}, {10, 1, 2}, {15, 0, 1},
+	}
+	fi := 0
+	var healthyMean, degradedSum float64
+	var degradedN int
+	for i := 0; i < 25; i++ {
+		if fi < len(fail) && i == fail[fi].at {
+			if err := sys.FailDrive(fail[fi].lib, fail[fi].drive); err != nil {
+				t.Fatal(err)
+			}
+			fi++
+		}
+		r := stream.Next()
+		m, err := sys.Submit(r)
+		if err != nil {
+			t.Fatalf("request %d with %d failed drives: %v", i, sys.FailedDrives(), err)
+		}
+		if m.Bytes != w.RequestBytes(r) {
+			t.Fatalf("bytes lost under failure: %d vs %d", m.Bytes, w.RequestBytes(r))
+		}
+		if i < 5 {
+			healthyMean += m.Response / 5
+		} else if sys.FailedDrives() == 3 {
+			degradedSum += m.Response
+			degradedN++
+		}
+	}
+	if sys.FailedDrives() != 3 {
+		t.Fatalf("FailedDrives = %d, want 3", sys.FailedDrives())
+	}
+	if degradedN > 0 && degradedSum/float64(degradedN) < healthyMean*0.5 {
+		t.Errorf("degraded system implausibly faster: %.1fs vs healthy %.1fs",
+			degradedSum/float64(degradedN), healthyMean)
+	}
+}

@@ -1,0 +1,138 @@
+package tapesys
+
+import (
+	"fmt"
+	"sort"
+
+	"paralleltape/internal/catalog"
+)
+
+// PendingOrder selects how a library's queue of offline requested tapes is
+// ordered before switch drives pull from it.
+type PendingOrder int
+
+const (
+	// LargestFirst serves the tape with the most requested bytes first
+	// (LPT — starts the longest transfers earliest, minimizing makespan;
+	// the default and the behavior assumed throughout the paper
+	// reproduction).
+	LargestFirst PendingOrder = iota
+	// SmallestFirst serves the tape with the fewest requested bytes first
+	// (SPT — drains the queue fastest but can strand the big transfer at
+	// the end).
+	SmallestFirst
+	// SlotOrder serves tapes by their library slot index (a FIFO-like
+	// policy with no size awareness).
+	SlotOrder
+)
+
+func (p PendingOrder) String() string {
+	switch p {
+	case LargestFirst:
+		return "largest-first"
+	case SmallestFirst:
+		return "smallest-first"
+	case SlotOrder:
+		return "slot-order"
+	default:
+		return fmt.Sprintf("PendingOrder(%d)", int(p))
+	}
+}
+
+// VictimPolicy selects which switchable drive gives up its tape when an
+// offline tape must be mounted.
+type VictimPolicy int
+
+const (
+	// LeastPopular evicts the mounted tape with the least accumulated
+	// probability — the policy [11] proves minimizes switch count and the
+	// paper's default.
+	LeastPopular VictimPolicy = iota
+	// MostPopular evicts the hottest mounted tape first (the adversarial
+	// policy, for ablation).
+	MostPopular
+	// DriveOrder ignores popularity and evicts by drive index.
+	DriveOrder
+)
+
+func (p VictimPolicy) String() string {
+	switch p {
+	case LeastPopular:
+		return "least-popular"
+	case MostPopular:
+		return "most-popular"
+	case DriveOrder:
+		return "drive-order"
+	default:
+		return fmt.Sprintf("VictimPolicy(%d)", int(p))
+	}
+}
+
+// Options tunes simulator scheduling. The zero value is the paper's
+// behavior.
+type Options struct {
+	Pending PendingOrder
+	Victim  VictimPolicy
+}
+
+// Validate checks option sanity.
+func (o Options) Validate() error {
+	switch o.Pending {
+	case LargestFirst, SmallestFirst, SlotOrder:
+	default:
+		return fmt.Errorf("tapesys: unknown pending order %d", int(o.Pending))
+	}
+	switch o.Victim {
+	case LeastPopular, MostPopular, DriveOrder:
+	default:
+		return fmt.Errorf("tapesys: unknown victim policy %d", int(o.Victim))
+	}
+	return nil
+}
+
+// sortPending orders one library's offline tape groups per the policy.
+func sortPending(p []catalog.TapeGroup, order PendingOrder) {
+	switch order {
+	case SmallestFirst:
+		sort.Slice(p, func(i, j int) bool {
+			if p[i].Bytes != p[j].Bytes {
+				return p[i].Bytes < p[j].Bytes
+			}
+			return p[i].Tape.Index < p[j].Tape.Index
+		})
+	case SlotOrder:
+		sort.Slice(p, func(i, j int) bool { return p[i].Tape.Index < p[j].Tape.Index })
+	default: // LargestFirst
+		sort.Slice(p, func(i, j int) bool {
+			if p[i].Bytes != p[j].Bytes {
+				return p[i].Bytes > p[j].Bytes
+			}
+			return p[i].Tape.Index < p[j].Tape.Index
+		})
+	}
+}
+
+// victimLess ranks eligible drives: true means a should switch before b.
+func (s *System) victimLess(a, b *drive) bool {
+	switch s.opts.Victim {
+	case MostPopular:
+		pa, pb := s.mountedProb(a), s.mountedProb(b)
+		// Empty drives (prob −1) still go first: using them costs nothing.
+		aEmpty, bEmpty := a.mounted < 0, b.mounted < 0
+		if aEmpty != bEmpty {
+			return aEmpty
+		}
+		if pa != pb {
+			return pa > pb
+		}
+		return a.idx < b.idx
+	case DriveOrder:
+		return a.idx < b.idx
+	default: // LeastPopular
+		pa, pb := s.mountedProb(a), s.mountedProb(b)
+		if pa != pb {
+			return pa < pb
+		}
+		return a.idx < b.idx
+	}
+}

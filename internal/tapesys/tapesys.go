@@ -1,0 +1,430 @@
+// Package tapesys is the multiple-tape-library simulator of §6: n libraries
+// each with d drives and one robot arm, executing retrieval requests
+// against a placement produced by internal/placement.
+//
+// The simulator follows the paper's stated mechanics:
+//
+//   - requests are submitted one at a time with no queueing; mount state and
+//     head positions persist between requests;
+//   - requested objects on mounted tapes are served before those tapes can
+//     be unmounted; switch drives whose mounted tape holds no requested
+//     object begin switching to pending offline tapes immediately;
+//   - a tape switch is rewind → unload → robot store + fetch (robots are
+//     per-library and FIFO) → load + thread; the freshly loaded tape starts
+//     with its head at BOT;
+//   - reads within one tape follow the seek-optimal order for a linear
+//     medium (tape.PlanReads);
+//   - the request response time is the latest drive finish time; the
+//     request's seek and transfer times are those of that last-finishing
+//     drive, and switch time is the remainder (§6 "Metrics").
+//
+// Victim selection among switchable drives uses the least-popular
+// replacement policy of [11]: the eligible drive holding the least
+// accumulated probability switches first.
+package tapesys
+
+import (
+	"fmt"
+	"sort"
+
+	"paralleltape/internal/catalog"
+	"paralleltape/internal/model"
+	"paralleltape/internal/placement"
+	"paralleltape/internal/sim"
+	"paralleltape/internal/tape"
+)
+
+// drive is the persistent state of one tape drive.
+type drive struct {
+	lib     int
+	idx     int
+	mounted int   // library-local tape index, -1 when empty
+	headPos int64 // byte offset of the head on the mounted tape
+	pinned  bool
+	failed  bool
+
+	// lifetime accounting
+	busySeconds   float64
+	switchSeconds float64
+	bytesMoved    int64
+	mounts        int
+}
+
+// library is the persistent state of one tape library.
+type library struct {
+	idx    int
+	robot  *sim.Resource
+	drives []*drive
+	// byTape maps a mounted tape index to the drive holding it.
+	byTape map[int]*drive
+}
+
+// System is a simulated parallel tape storage system. Create with New or
+// NewWithOptions, then Submit requests; state persists across submissions.
+type System struct {
+	hw    tape.Hardware
+	cat   *catalog.Catalog
+	prob  map[tape.Key]float64
+	eng   *sim.Engine
+	libs  []*library
+	opts  Options
+	trace *Trace
+
+	totalSwitches int
+	totalBytes    int64
+	totalBusy     float64
+}
+
+// New builds a system in the placement's initial state with the paper's
+// default scheduling (largest-pending-first, least-popular victims).
+func New(hw tape.Hardware, pl *placement.Result) (*System, error) {
+	return NewWithOptions(hw, pl, Options{})
+}
+
+// NewWithOptions builds a system with explicit scheduling options.
+func NewWithOptions(hw tape.Hardware, pl *placement.Result, opts Options) (*System, error) {
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if pl == nil || pl.Catalog == nil {
+		return nil, fmt.Errorf("tapesys: nil placement")
+	}
+	if len(pl.InitialMounts) != hw.Libraries {
+		return nil, fmt.Errorf("tapesys: placement has %d libraries, hardware %d",
+			len(pl.InitialMounts), hw.Libraries)
+	}
+	s := &System{
+		hw:   hw,
+		cat:  pl.Catalog,
+		prob: pl.TapeProb,
+		eng:  sim.NewEngine(),
+		opts: opts,
+	}
+	for lib := 0; lib < hw.Libraries; lib++ {
+		if len(pl.InitialMounts[lib]) != hw.DrivesPerLib || len(pl.Pinned[lib]) != hw.DrivesPerLib {
+			return nil, fmt.Errorf("tapesys: library %d mount table sized %d/%d, want %d",
+				lib, len(pl.InitialMounts[lib]), len(pl.Pinned[lib]), hw.DrivesPerLib)
+		}
+		l := &library{
+			idx:    lib,
+			robot:  sim.NewResource(s.eng, fmt.Sprintf("robot-%d", lib)),
+			byTape: make(map[int]*drive),
+		}
+		for d := 0; d < hw.DrivesPerLib; d++ {
+			dr := &drive{lib: lib, idx: d, mounted: pl.InitialMounts[lib][d], pinned: pl.Pinned[lib][d]}
+			if dr.mounted >= 0 {
+				if _, dup := l.byTape[dr.mounted]; dup {
+					return nil, fmt.Errorf("tapesys: library %d tape %d mounted twice", lib, dr.mounted)
+				}
+				l.byTape[dr.mounted] = dr
+			}
+			l.drives = append(l.drives, dr)
+		}
+		s.libs = append(s.libs, l)
+	}
+	return s, nil
+}
+
+// RequestMetrics is the per-request measurement set of §6.
+type RequestMetrics struct {
+	Request  model.RequestID
+	Bytes    int64
+	Response float64 // seconds from submission to last transfer completion
+	Seek     float64 // seek time of the last-finishing drive
+	Transfer float64 // transfer time of the last-finishing drive
+	Switch   float64 // Response − Seek − Transfer (includes robot waits)
+	// Diagnostics beyond the paper's metrics:
+	Switches     int     // tape switches performed for this request
+	TapesTouched int     // distinct cartridges read
+	DrivesUsed   int     // distinct drives that transferred data
+	RobotWait    float64 // summed time switches spent queued for robots
+	SumSeek      float64 // seek time summed over all drives
+	SumTransfer  float64 // transfer time summed over all drives
+	MountedRatio float64 // fraction of bytes served from already-mounted tapes
+}
+
+// Bandwidth returns the request's effective data retrieval bandwidth in
+// bytes/second (§3: transferred size over response time).
+func (m RequestMetrics) Bandwidth() float64 {
+	if m.Response <= 0 {
+		return 0
+	}
+	return float64(m.Bytes) / m.Response
+}
+
+// driveAcct accumulates one drive's work during a single request.
+type driveAcct struct {
+	seek, xfer float64
+	finish     float64
+	moved      int64
+}
+
+// Submit executes one request to completion and returns its metrics. The
+// engine runs until the system is idle again (the paper's zero-queueing
+// assumption).
+func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
+	groups, err := s.cat.GroupRequest(r)
+	if err != nil {
+		return RequestMetrics{}, err
+	}
+	t0 := s.eng.Now()
+	met := RequestMetrics{Request: r.ID, TapesTouched: len(groups)}
+	s.emit(Event{Kind: EvSubmit, Drive: -1, Tape: -1, Request: int32(r.ID), Bytes: 0})
+
+	acct := make(map[*drive]*driveAcct)
+	acctOf := func(d *drive) *driveAcct {
+		a := acct[d]
+		if a == nil {
+			a = &driveAcct{}
+			acct[d] = a
+		}
+		return a
+	}
+	robotWait0 := s.robotWaitTotal()
+
+	latch := sim.NewLatch(len(groups))
+
+	// Per-library pending queues of offline tape groups, largest first so
+	// long transfers start earliest (LPT ordering keeps the makespan low).
+	pending := make([][]catalog.TapeGroup, s.hw.Libraries)
+	var mountedBytes int64
+	type mountedService struct {
+		d *drive
+		g catalog.TapeGroup
+	}
+	var mountedServices []mountedService
+	for _, g := range groups {
+		met.Bytes += g.Bytes
+		l := s.libs[g.Tape.Library]
+		if d, ok := l.byTape[g.Tape.Index]; ok {
+			mountedServices = append(mountedServices, mountedService{d: d, g: g})
+			mountedBytes += g.Bytes
+		} else {
+			pending[g.Tape.Library] = append(pending[g.Tape.Library], g)
+		}
+	}
+	for lib := range pending {
+		sortPending(pending[lib], s.opts.Pending)
+	}
+	if met.Bytes > 0 {
+		met.MountedRatio = float64(mountedBytes) / float64(met.Bytes)
+	}
+
+	// busy marks drives occupied by this request (serving or switching).
+	busy := make(map[*drive]bool)
+
+	// takePending pops the next offline group for a library.
+	takePending := func(lib int) (catalog.TapeGroup, bool) {
+		q := pending[lib]
+		if len(q) == 0 {
+			return catalog.TapeGroup{}, false
+		}
+		g := q[0]
+		pending[lib] = q[1:]
+		return g, true
+	}
+
+	var serve func(d *drive, g catalog.TapeGroup)
+	var startSwitch func(d *drive, g catalog.TapeGroup)
+
+	// afterService decides a drive's next move once it finishes a tape.
+	afterService := func(d *drive) {
+		if d.pinned {
+			return
+		}
+		if g, ok := takePending(d.lib); ok {
+			startSwitch(d, g)
+		}
+	}
+
+	serve = func(d *drive, g catalog.TapeGroup) {
+		plan := tape.PlanReads(s.hw, d.headPos, g.Extents)
+		a := acctOf(d)
+		s.emit(Event{Kind: EvServeStart, Library: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+			Request: int32(r.ID), Bytes: g.Bytes})
+		s.eng.Schedule(plan.SeekTotal+plan.XferTotal, func() {
+			d.headPos = plan.EndPos
+			a.seek += plan.SeekTotal
+			a.xfer += plan.XferTotal
+			a.moved += g.Bytes
+			a.finish = s.eng.Now()
+			s.totalBusy += plan.SeekTotal + plan.XferTotal
+			d.busySeconds += plan.SeekTotal + plan.XferTotal
+			d.bytesMoved += g.Bytes
+			s.emit(Event{Kind: EvServeEnd, Library: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+				Request: int32(r.ID), Bytes: g.Bytes})
+			latch.Done()
+			afterService(d)
+		})
+	}
+
+	startSwitch = func(d *drive, g catalog.TapeGroup) {
+		met.Switches++
+		s.totalSwitches++
+		l := s.libs[d.lib]
+		switchBegin := s.eng.Now()
+		prep := 0.0
+		if d.mounted >= 0 {
+			prep = s.hw.RewindTime(d.headPos) + s.hw.Unload
+			s.emit(Event{Kind: EvRewindStart, Library: d.lib, Drive: d.idx, Tape: d.mounted,
+				Request: int32(r.ID)})
+		}
+		s.eng.Schedule(prep, func() {
+			// The outgoing cartridge has left the drive.
+			hadTape := d.mounted >= 0
+			if hadTape {
+				delete(l.byTape, d.mounted)
+				d.mounted = -1
+			}
+			l.robot.Acquire(func(grant *sim.Grant) {
+				s.emit(Event{Kind: EvRobotStart, Library: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+					Request: int32(r.ID)})
+				move := s.hw.CellToDrive // fetch the target cartridge
+				if hadTape {
+					move += s.hw.CellToDrive // first stow the old one
+				}
+				s.eng.Schedule(move, func() {
+					grant.Release()
+					s.emit(Event{Kind: EvLoadStart, Library: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+						Request: int32(r.ID)})
+					s.eng.Schedule(s.hw.LoadThread, func() {
+						d.mounted = g.Tape.Index
+						d.headPos = 0
+						d.mounts++
+						d.switchSeconds += s.eng.Now() - switchBegin
+						l.byTape[g.Tape.Index] = d
+						s.emit(Event{Kind: EvMounted, Library: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+							Request: int32(r.ID)})
+						serve(d, g)
+					})
+				})
+			})
+		})
+	}
+
+	// Phase 1: drives whose mounted tape holds requested objects serve
+	// them first.
+	for _, ms := range mountedServices {
+		busy[ms.d] = true
+	}
+	// Phase 2: eligible idle switch drives start switching immediately.
+	// Eligible = not pinned, not serving this request. Victims in
+	// least-popular-mounted-tape order (empty drives first).
+	for lib := range s.libs {
+		if len(pending[lib]) == 0 {
+			continue
+		}
+		var eligible []*drive
+		for _, d := range s.libs[lib].drives {
+			if d.pinned || d.failed || busy[d] {
+				continue
+			}
+			eligible = append(eligible, d)
+		}
+		sort.Slice(eligible, func(i, j int) bool {
+			return s.victimLess(eligible[i], eligible[j])
+		})
+		for _, d := range eligible {
+			g, ok := takePending(lib)
+			if !ok {
+				break
+			}
+			busy[d] = true
+			startSwitch(d, g)
+		}
+		if len(pending[lib]) > 0 {
+			// Remaining groups wait for serving drives to free up; require
+			// at least one unpinned drive in this library to guarantee
+			// progress.
+			hasSwitcher := false
+			for _, d := range s.libs[lib].drives {
+				if !d.pinned && !d.failed {
+					hasSwitcher = true
+					break
+				}
+			}
+			if !hasSwitcher {
+				return RequestMetrics{}, fmt.Errorf(
+					"tapesys: library %d has offline requested tapes but no switchable drive", lib)
+			}
+		}
+	}
+	// Kick off mounted services after switch dispatch so busy[] was
+	// complete; simulated start time is identical (same instant).
+	for _, ms := range mountedServices {
+		serve(ms.d, ms.g)
+	}
+
+	done := false
+	latch.Wait(func() { done = true })
+	s.eng.Run()
+	if !done {
+		return RequestMetrics{}, fmt.Errorf("tapesys: request %d did not complete (%d groups outstanding)",
+			r.ID, latch.Remaining())
+	}
+
+	// §6 metrics: response from the last-finishing drive.
+	s.emit(Event{Kind: EvComplete, Drive: -1, Tape: -1, Request: int32(r.ID), Bytes: met.Bytes})
+	met.Response = s.eng.Now() - t0
+	var last *driveAcct
+	for _, a := range acct {
+		met.SumSeek += a.seek
+		met.SumTransfer += a.xfer
+		if a.moved > 0 {
+			met.DrivesUsed++
+		}
+		if last == nil || a.finish > last.finish {
+			last = a
+		}
+	}
+	if last != nil {
+		met.Seek = last.seek
+		met.Transfer = last.xfer
+		met.Switch = met.Response - met.Seek - met.Transfer
+		if met.Switch < 0 {
+			met.Switch = 0
+		}
+	}
+	met.RobotWait = s.robotWaitTotal() - robotWait0
+	s.totalBytes += met.Bytes
+	return met, nil
+}
+
+// mountedProb returns the accumulated probability of the drive's mounted
+// tape (−1 for an empty drive, so empty drives are preferred victims).
+func (s *System) mountedProb(d *drive) float64 {
+	if d.mounted < 0 {
+		return -1
+	}
+	return s.prob[tape.Key{Library: d.lib, Index: d.mounted}]
+}
+
+func (s *System) robotWaitTotal() float64 {
+	total := 0.0
+	for _, l := range s.libs {
+		total += l.robot.Stats().WaitTotal
+	}
+	return total
+}
+
+// Now returns the current simulated time.
+func (s *System) Now() float64 { return s.eng.Now() }
+
+// TotalSwitches returns the switch count over the system's lifetime.
+func (s *System) TotalSwitches() int { return s.totalSwitches }
+
+// MountedTapes returns, per library, the sorted tape indices currently
+// mounted (diagnostic).
+func (s *System) MountedTapes() [][]int {
+	out := make([][]int, len(s.libs))
+	for i, l := range s.libs {
+		for ti := range l.byTape {
+			out[i] = append(out[i], ti)
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}

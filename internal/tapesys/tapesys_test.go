@@ -1,0 +1,588 @@
+package tapesys
+
+import (
+	"math"
+	"testing"
+
+	"paralleltape/internal/catalog"
+	"paralleltape/internal/model"
+	"paralleltape/internal/placement"
+	"paralleltape/internal/rng"
+	"paralleltape/internal/tape"
+	"paralleltape/internal/units"
+	"paralleltape/internal/workload"
+)
+
+// testHW uses round numbers: locate rate 100 B/s, rewind rate 100 B/s,
+// transfer 10 B/s, robot move 2 s, load 3 s, unload 4 s.
+func testHW() tape.Hardware {
+	return tape.Hardware{
+		CellToDrive:  2,
+		LoadThread:   3,
+		Unload:       4,
+		MaxRewind:    10, // capacity 1000 / 10 s = 100 B/s
+		AvgFileSeek:  5,  // (1000/2) / 5 s = 100 B/s
+		TransferRate: 10,
+		Capacity:     1000,
+		TapesPerLib:  5,
+		DrivesPerLib: 2,
+		Libraries:    2,
+	}
+}
+
+// manualPlacement builds a placement by hand. layout maps tape key → list
+// of (object, size); mounts/pinned defaulting to empty drives.
+type objSpec struct {
+	id   model.ObjectID
+	size int64
+}
+
+func manualPlacement(t *testing.T, hw tape.Hardware, numObjects int,
+	layouts map[tape.Key][]objSpec, mounts [][]int, pinned [][]bool,
+	tapeProb map[tape.Key]float64) *placement.Result {
+	t.Helper()
+	cat := catalog.New(numObjects)
+	// Deterministic order over map keys.
+	for lib := 0; lib < hw.Libraries; lib++ {
+		for idx := 0; idx < hw.TapesPerLib; idx++ {
+			k := tape.Key{Library: lib, Index: idx}
+			specs, ok := layouts[k]
+			if !ok {
+				continue
+			}
+			l := tape.NewLayout(k)
+			for _, sp := range specs {
+				if _, err := l.Append(sp.id, sp.size, hw.Capacity); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := cat.AddLayout(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if mounts == nil {
+		mounts = make([][]int, hw.Libraries)
+		for i := range mounts {
+			mounts[i] = make([]int, hw.DrivesPerLib)
+			for d := range mounts[i] {
+				mounts[i][d] = -1
+			}
+		}
+	}
+	if pinned == nil {
+		pinned = make([][]bool, hw.Libraries)
+		for i := range pinned {
+			pinned[i] = make([]bool, hw.DrivesPerLib)
+		}
+	}
+	if tapeProb == nil {
+		tapeProb = map[tape.Key]float64{}
+	}
+	return &placement.Result{
+		Scheme:        "manual",
+		Catalog:       cat,
+		InitialMounts: mounts,
+		Pinned:        pinned,
+		TapeProb:      tapeProb,
+	}
+}
+
+func req(id model.RequestID, objs ...model.ObjectID) *model.Request {
+	return &model.Request{ID: id, Prob: 1, Objects: objs}
+}
+
+func TestMountedTapeServedWithoutSwitch(t *testing.T) {
+	hw := testHW()
+	pl := manualPlacement(t, hw, 1,
+		map[tape.Key][]objSpec{{Library: 0, Index: 0}: {{0, 100}}},
+		[][]int{{0, -1}, {-1, -1}}, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Submit(req(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Head at BOT, object at [0,100): no seek, transfer 100/10 = 10 s.
+	if math.Abs(m.Response-10) > 1e-9 {
+		t.Errorf("Response = %v, want 10", m.Response)
+	}
+	if m.Seek != 0 || math.Abs(m.Transfer-10) > 1e-9 || m.Switch != 0 {
+		t.Errorf("decomposition: seek=%v xfer=%v switch=%v", m.Seek, m.Transfer, m.Switch)
+	}
+	if m.Switches != 0 || m.TapesTouched != 1 || m.DrivesUsed != 1 {
+		t.Errorf("counters: %+v", m)
+	}
+	if bw := m.Bandwidth(); math.Abs(bw-10) > 1e-9 {
+		t.Errorf("Bandwidth = %v, want 10 B/s", bw)
+	}
+}
+
+func TestSeekChargedFromHeadPosition(t *testing.T) {
+	hw := testHW()
+	pl := manualPlacement(t, hw, 2,
+		map[tape.Key][]objSpec{{Library: 0, Index: 0}: {{0, 100}, {1, 200}}},
+		[][]int{{0, -1}, {-1, -1}}, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read object 1 at [100,300): seek 100 bytes @100 B/s = 1 s, transfer 20 s.
+	m, err := s.Submit(req(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Seek-1) > 1e-9 || math.Abs(m.Transfer-20) > 1e-9 {
+		t.Errorf("seek=%v xfer=%v", m.Seek, m.Transfer)
+	}
+	// Head is now at 300. Reading object 0 at [0,100) seeks back 300 bytes.
+	m2, err := s.Submit(req(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m2.Seek-3) > 1e-9 {
+		t.Errorf("second seek = %v, want 3 (head persisted)", m2.Seek)
+	}
+}
+
+func TestSwitchFromEmptyDrive(t *testing.T) {
+	hw := testHW()
+	pl := manualPlacement(t, hw, 1,
+		map[tape.Key][]objSpec{{Library: 0, Index: 3}: {{0, 100}}},
+		nil, nil, nil) // all drives empty
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Submit(req(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty drive: robot fetch 2 + load 3 + transfer 10 = 15.
+	if math.Abs(m.Response-15) > 1e-9 {
+		t.Errorf("Response = %v, want 15", m.Response)
+	}
+	if m.Switches != 1 {
+		t.Errorf("Switches = %d", m.Switches)
+	}
+	if math.Abs(m.Switch-5) > 1e-9 {
+		t.Errorf("Switch = %v, want 5", m.Switch)
+	}
+}
+
+func TestSwitchWithVictimRewindsAndStows(t *testing.T) {
+	hw := testHW()
+	pl := manualPlacement(t, hw, 2,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 0}: {{0, 100}},
+			{Library: 0, Index: 3}: {{1, 100}},
+		},
+		[][]int{{0, -1}, {-1, -1}}, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First read object 0 so tape 0's head sits at 100.
+	if _, err := s.Submit(req(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Now request object 1 on offline tape 3. Victim choice: drive 1 is
+	// empty → preferred (prob −1): fetch 2 + load 3 + xfer 10 = 15.
+	m, err := s.Submit(req(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Response-15) > 1e-9 {
+		t.Errorf("Response = %v, want 15 (empty drive preferred)", m.Response)
+	}
+	// Request object 0 again (still mounted on drive 0): no switch.
+	m2, err := s.Submit(req(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Switches != 0 {
+		t.Errorf("object 0 should still be mounted; switches = %d", m2.Switches)
+	}
+}
+
+func TestSwitchOccupiedVictim(t *testing.T) {
+	hw := testHW()
+	hw.DrivesPerLib = 1
+	pl := manualPlacement(t, hw, 2,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 0}: {{0, 200}},
+			{Library: 0, Index: 3}: {{1, 100}},
+		},
+		[][]int{{0}, {-1}}, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read object 0: head moves to 200.
+	if _, err := s.Submit(req(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Object 1 needs tape 3; the only drive holds tape 0 at head 200.
+	// rewind 200/100=2 + unload 4 + stow 2 + fetch 2 + load 3 + xfer 10 = 23.
+	m, err := s.Submit(req(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Response-23) > 1e-9 {
+		t.Errorf("Response = %v, want 23", m.Response)
+	}
+	if math.Abs(m.Switch-13) > 1e-9 {
+		t.Errorf("Switch = %v, want 13", m.Switch)
+	}
+}
+
+func TestRobotSerializesWithinLibrary(t *testing.T) {
+	hw := testHW()
+	pl := manualPlacement(t, hw, 2,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 2}: {{0, 100}},
+			{Library: 0, Index: 3}: {{1, 100}},
+		},
+		nil, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Submit(req(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two empty drives, one robot. Pending sorted by bytes (tie: index):
+	// tape 2 first. Drive A: fetch [0,2], load [2,5], xfer [5,15].
+	// Drive B: robot wait until 2, fetch [2,4], load [4,7], xfer [7,17].
+	if math.Abs(m.Response-17) > 1e-9 {
+		t.Errorf("Response = %v, want 17 (robot serialized)", m.Response)
+	}
+	if m.RobotWait < 1.9 {
+		t.Errorf("RobotWait = %v, want ≈2", m.RobotWait)
+	}
+	if m.DrivesUsed != 2 || m.Switches != 2 {
+		t.Errorf("counters: %+v", m)
+	}
+}
+
+func TestLibrariesSwitchInParallel(t *testing.T) {
+	hw := testHW()
+	pl := manualPlacement(t, hw, 2,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 2}: {{0, 100}},
+			{Library: 1, Index: 2}: {{1, 100}},
+		},
+		nil, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Submit(req(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each library mounts in parallel: fetch 2 + load 3 + xfer 10 = 15.
+	if math.Abs(m.Response-15) > 1e-9 {
+		t.Errorf("Response = %v, want 15 (parallel robots)", m.Response)
+	}
+	if m.RobotWait != 0 {
+		t.Errorf("RobotWait = %v, want 0", m.RobotWait)
+	}
+}
+
+func TestMountedServedBeforeSwitch(t *testing.T) {
+	hw := testHW()
+	hw.DrivesPerLib = 1
+	pl := manualPlacement(t, hw, 2,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 0}: {{0, 100}},
+			{Library: 0, Index: 3}: {{1, 100}},
+		},
+		[][]int{{0}, {-1}}, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One drive; request needs the mounted tape 0 AND offline tape 3.
+	// Serve mounted first: xfer [0,10]; then switch: rewind 1 (head@100)
+	// + unload 4 + stow 2 + fetch 2 + load 3 → mounted at 22; xfer [22,32].
+	m, err := s.Submit(req(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Response-32) > 1e-9 {
+		t.Errorf("Response = %v, want 32", m.Response)
+	}
+	if m.Switches != 1 {
+		t.Errorf("Switches = %d", m.Switches)
+	}
+	// Last-finishing drive is the only drive: seek 0, xfer 20, switch 12.
+	if math.Abs(m.Transfer-20) > 1e-9 || math.Abs(m.Switch-12) > 1e-9 {
+		t.Errorf("decomposition: %+v", m)
+	}
+}
+
+func TestPinnedDriveNeverSwitches(t *testing.T) {
+	hw := testHW()
+	hw.DrivesPerLib = 2
+	pl := manualPlacement(t, hw, 3,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 0}: {{0, 100}},
+			{Library: 0, Index: 3}: {{1, 100}},
+			{Library: 0, Index: 4}: {{2, 100}},
+		},
+		[][]int{{0, 3}, {-1, -1}},
+		[][]bool{{true, false}, {false, false}},
+		map[tape.Key]float64{
+			{Library: 0, Index: 0}: 0.9,
+			{Library: 0, Index: 3}: 0.1,
+		})
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request object 2 (offline tape 4): only the unpinned drive 1
+	// (holding tape 3) may switch.
+	if _, err := s.Submit(req(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	mounted := s.MountedTapes()
+	if len(mounted[0]) != 2 || mounted[0][0] != 0 || mounted[0][1] != 4 {
+		t.Errorf("mounted after switch: %v, want [0 4]", mounted[0])
+	}
+}
+
+func TestNoSwitchableDriveError(t *testing.T) {
+	hw := testHW()
+	hw.DrivesPerLib = 1
+	pl := manualPlacement(t, hw, 2,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 0}: {{0, 100}},
+			{Library: 0, Index: 3}: {{1, 100}},
+		},
+		[][]int{{0}, {-1}},
+		[][]bool{{true}, {false}}, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(req(0, 1)); err == nil {
+		t.Error("offline tape with no switchable drive should error")
+	}
+}
+
+func TestLeastPopularVictim(t *testing.T) {
+	hw := testHW()
+	hw.DrivesPerLib = 2
+	pl := manualPlacement(t, hw, 3,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 0}: {{0, 100}},
+			{Library: 0, Index: 1}: {{1, 100}},
+			{Library: 0, Index: 3}: {{2, 100}},
+		},
+		[][]int{{0, 1}, {-1, -1}}, nil,
+		map[tape.Key]float64{
+			{Library: 0, Index: 0}: 0.2, // less popular → victim
+			{Library: 0, Index: 1}: 0.8,
+		})
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(req(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	mounted := s.MountedTapes()
+	// Tape 0 (prob 0.2) must have been evicted; tape 1 stays.
+	if len(mounted[0]) != 2 || mounted[0][0] != 1 || mounted[0][1] != 3 {
+		t.Errorf("mounted = %v, want [1 3]", mounted[0])
+	}
+}
+
+func TestSwitchTimeIncludesRobotWait(t *testing.T) {
+	hw := testHW()
+	pl := manualPlacement(t, hw, 2,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 2}: {{0, 500}},
+			{Library: 0, Index: 3}: {{1, 500}},
+		},
+		nil, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Submit(req(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last drive: robot wait [0,2], fetch [2,4], load [4,7], xfer [7,57].
+	// Seek 0, xfer 50, switch = 7 (5 mechanics + 2 robot wait).
+	if math.Abs(m.Response-57) > 1e-9 {
+		t.Errorf("Response = %v, want 57", m.Response)
+	}
+	if math.Abs(m.Switch-7) > 1e-9 {
+		t.Errorf("Switch = %v, want 7", m.Switch)
+	}
+	if m.RobotWait < 1.9 {
+		t.Errorf("RobotWait = %v, want ≈2", m.RobotWait)
+	}
+}
+
+func TestDeterministicEndToEnd(t *testing.T) {
+	hw := tape.DefaultHardware()
+	hw.Libraries = 2
+	hw.DrivesPerLib = 3
+	hw.TapesPerLib = 12
+	hw.Capacity = 200 * units.MB
+	p := workload.Params{
+		NumObjects:  300,
+		NumRequests: 30,
+		MinObjSize:  1 * units.MB,
+		MaxObjSize:  8 * units.MB,
+		ObjShape:    1.1,
+		MinReqLen:   5,
+		MaxReqLen:   12,
+		ReqLenShape: 1,
+		Alpha:       0.3,
+	}
+	w, err := workload.Generate(p, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []float64 {
+		pb := placement.ParallelBatch{M: 1}
+		pr, err := pb.Place(w, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(hw, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := workload.NewRequestStream(w, rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var responses []float64
+		for i := 0; i < 40; i++ {
+			m, err := s.Submit(stream.Next())
+			if err != nil {
+				t.Fatal(err)
+			}
+			responses = append(responses, m.Response)
+		}
+		return responses
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d response %v vs %v across runs", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAllSchemesEndToEnd(t *testing.T) {
+	hw := tape.DefaultHardware()
+	hw.Libraries = 2
+	hw.DrivesPerLib = 4
+	hw.TapesPerLib = 16
+	hw.Capacity = 200 * units.MB
+	p := workload.Params{
+		NumObjects:  400,
+		NumRequests: 40,
+		MinObjSize:  1 * units.MB,
+		MaxObjSize:  8 * units.MB,
+		ObjShape:    1.1,
+		MinReqLen:   5,
+		MaxReqLen:   15,
+		ReqLenShape: 1,
+		Alpha:       0.3,
+	}
+	w, err := workload.Generate(p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []placement.Scheme{
+		placement.ObjectProbability{},
+		placement.ClusterProbability{},
+		placement.ParallelBatch{M: 2},
+		placement.RoundRobin{},
+	}
+	for _, sch := range schemes {
+		pr, err := sch.Place(w, hw)
+		if err != nil {
+			t.Fatalf("%s: %v", sch.Name(), err)
+		}
+		if err := pr.Validate(w, hw); err != nil {
+			t.Fatalf("%s: %v", sch.Name(), err)
+		}
+		s, err := New(hw, pr)
+		if err != nil {
+			t.Fatalf("%s: %v", sch.Name(), err)
+		}
+		stream, err := workload.NewRequestStream(w, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 60; i++ {
+			m, err := s.Submit(stream.Next())
+			if err != nil {
+				t.Fatalf("%s request %d: %v", sch.Name(), i, err)
+			}
+			if m.Response <= 0 || m.Bytes <= 0 {
+				t.Fatalf("%s request %d: degenerate metrics %+v", sch.Name(), i, m)
+			}
+			if m.Seek+m.Transfer > m.Response+1e-6 {
+				t.Fatalf("%s request %d: seek+transfer %v exceeds response %v",
+					sch.Name(), i, m.Seek+m.Transfer, m.Response)
+			}
+			if m.Switch < 0 {
+				t.Fatalf("%s request %d: negative switch %v", sch.Name(), i, m.Switch)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	hw := testHW()
+	if _, err := New(hw, nil); err == nil {
+		t.Error("nil placement accepted")
+	}
+	pl := manualPlacement(t, hw, 1,
+		map[tape.Key][]objSpec{{Library: 0, Index: 0}: {{0, 100}}}, nil, nil, nil)
+	pl.InitialMounts = pl.InitialMounts[:1]
+	if _, err := New(hw, pl); err == nil {
+		t.Error("short mount table accepted")
+	}
+	// Duplicate mount.
+	pl2 := manualPlacement(t, hw, 1,
+		map[tape.Key][]objSpec{{Library: 0, Index: 0}: {{0, 100}}},
+		[][]int{{0, 0}, {-1, -1}}, nil, nil)
+	if _, err := New(hw, pl2); err == nil {
+		t.Error("duplicate mount accepted")
+	}
+}
+
+func TestMountedRatio(t *testing.T) {
+	hw := testHW()
+	pl := manualPlacement(t, hw, 2,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 0}: {{0, 100}},
+			{Library: 0, Index: 3}: {{1, 300}},
+		},
+		[][]int{{0, -1}, {-1, -1}}, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Submit(req(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MountedRatio-0.25) > 1e-9 {
+		t.Errorf("MountedRatio = %v, want 0.25", m.MountedRatio)
+	}
+}

@@ -1,0 +1,257 @@
+package tapesys
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"paralleltape/internal/sim"
+)
+
+// EventKind labels one simulator event in a recorded trace.
+type EventKind int
+
+const (
+	// EvSubmit marks a request submission.
+	EvSubmit EventKind = iota
+	// EvServeStart marks a drive beginning to seek+read a tape group.
+	EvServeStart
+	// EvServeEnd marks a drive finishing a tape group.
+	EvServeEnd
+	// EvRewindStart marks the beginning of a switch's rewind+unload phase.
+	EvRewindStart
+	// EvRobotStart marks the robot beginning the stow+fetch moves.
+	EvRobotStart
+	// EvLoadStart marks the drive loading/threading the incoming tape.
+	EvLoadStart
+	// EvMounted marks the incoming tape ready at BOT.
+	EvMounted
+	// EvComplete marks request completion.
+	EvComplete
+	// EvDriveFailed marks a drive taken out of service.
+	EvDriveFailed
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSubmit:
+		return "submit"
+	case EvServeStart:
+		return "serve-start"
+	case EvServeEnd:
+		return "serve-end"
+	case EvRewindStart:
+		return "rewind"
+	case EvRobotStart:
+		return "robot"
+	case EvLoadStart:
+		return "load"
+	case EvMounted:
+		return "mounted"
+	case EvComplete:
+		return "complete"
+	case EvDriveFailed:
+		return "drive-failed"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one recorded simulator event.
+type Event struct {
+	Time    float64
+	Kind    EventKind
+	Library int
+	Drive   int // -1 when not drive-scoped
+	Tape    int // library-local tape index, -1 when not tape-scoped
+	Request int32
+	Bytes   int64
+}
+
+// Trace records simulator events when enabled via System.EnableTrace.
+type Trace struct {
+	Events []Event
+	limit  int
+}
+
+// EnableTrace starts recording events (keeping at most limit events;
+// limit <= 0 means unbounded). It returns the live trace.
+func (s *System) EnableTrace(limit int) *Trace {
+	s.trace = &Trace{limit: limit}
+	return s.trace
+}
+
+// DisableTrace stops recording.
+func (s *System) DisableTrace() { s.trace = nil }
+
+func (s *System) emit(ev Event) {
+	t := s.trace
+	if t == nil {
+		return
+	}
+	if t.limit > 0 && len(t.Events) >= t.limit {
+		return
+	}
+	ev.Time = s.eng.Now()
+	t.Events = append(t.Events, ev)
+}
+
+// WriteText renders the trace as one line per event.
+func (t *Trace) WriteText(w io.Writer) error {
+	for _, ev := range t.Events {
+		var loc string
+		switch {
+		case ev.Drive >= 0 && ev.Tape >= 0:
+			loc = fmt.Sprintf("L%d.D%d (tape %d)", ev.Library, ev.Drive, ev.Tape)
+		case ev.Drive >= 0:
+			loc = fmt.Sprintf("L%d.D%d", ev.Library, ev.Drive)
+		default:
+			loc = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%10.2fs  %-12s req=%-4d %-18s bytes=%d\n",
+			ev.Time, ev.Kind, ev.Request, loc, ev.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DriveStats summarizes one drive's lifetime activity.
+type DriveStats struct {
+	Library, Drive int
+	BusySeconds    float64 // seeking + transferring
+	SwitchSeconds  float64 // rewind/unload/robot-wait/load time
+	BytesMoved     int64
+	Mounts         int
+	Failed         bool
+}
+
+// DriveReport returns per-drive statistics in (library, drive) order.
+func (s *System) DriveReport() []DriveStats {
+	var out []DriveStats
+	for _, l := range s.libs {
+		for _, d := range l.drives {
+			out = append(out, DriveStats{
+				Library:       d.lib,
+				Drive:         d.idx,
+				BusySeconds:   d.busySeconds,
+				SwitchSeconds: d.switchSeconds,
+				BytesMoved:    d.bytesMoved,
+				Mounts:        d.mounts,
+				Failed:        d.failed,
+			})
+		}
+	}
+	return out
+}
+
+// RobotStats summarizes one library robot.
+type RobotStats struct {
+	Library      int
+	Stats        sim.ResourceStats
+	UtilPercent  float64 // busy share of the elapsed simulated time
+	WaitPerGrant float64
+}
+
+// RobotReport returns per-library robot statistics.
+func (s *System) RobotReport() []RobotStats {
+	elapsed := s.eng.Now()
+	var out []RobotStats
+	for _, l := range s.libs {
+		st := l.robot.Stats()
+		rs := RobotStats{Library: l.idx, Stats: st}
+		if elapsed > 0 {
+			rs.UtilPercent = 100 * st.BusyTotal / elapsed
+		}
+		if st.Acquisitions > 0 {
+			rs.WaitPerGrant = st.WaitTotal / float64(st.Acquisitions)
+		}
+		out = append(out, rs)
+	}
+	return out
+}
+
+// WriteUtilization renders drive and robot utilization tables.
+func (s *System) WriteUtilization(w io.Writer) error {
+	elapsed := s.eng.Now()
+	if _, err := fmt.Fprintf(w, "simulated time: %.1fs\n\ndrive      busy%%  switch%%  mounts  moved\n", elapsed); err != nil {
+		return err
+	}
+	drives := s.DriveReport()
+	sort.Slice(drives, func(i, j int) bool {
+		if drives[i].Library != drives[j].Library {
+			return drives[i].Library < drives[j].Library
+		}
+		return drives[i].Drive < drives[j].Drive
+	})
+	for _, d := range drives {
+		busyPct, switchPct := 0.0, 0.0
+		if elapsed > 0 {
+			busyPct = 100 * d.BusySeconds / elapsed
+			switchPct = 100 * d.SwitchSeconds / elapsed
+		}
+		flag := ""
+		if d.Failed {
+			flag = "  FAILED"
+		}
+		if _, err := fmt.Fprintf(w, "L%d.D%-2d     %5.1f  %6.1f   %5d  %8.1f GB%s\n",
+			d.Library, d.Drive, busyPct, switchPct, d.Mounts, float64(d.BytesMoved)/1e9, flag); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\nrobot   util%%   grants  wait/grant\n"); err != nil {
+		return err
+	}
+	for _, r := range s.RobotReport() {
+		if _, err := fmt.Fprintf(w, "L%-2d     %5.1f   %6d  %9.2fs\n",
+			r.Library, r.UtilPercent, r.Stats.Acquisitions, r.WaitPerGrant); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailDrive takes a drive out of service between requests: its mounted
+// tape (if any) is returned to its cell immediately (the robot operation
+// is assumed to happen during the idle period) and the drive never serves
+// or switches again. Pinned drives lose their pin — their content becomes
+// switchable like any offline tape. It fails if the system is mid-request
+// or the drive does not exist.
+func (s *System) FailDrive(library, drive int) error {
+	if s.eng.Pending() > 0 {
+		return fmt.Errorf("tapesys: cannot fail a drive mid-request")
+	}
+	if library < 0 || library >= len(s.libs) {
+		return fmt.Errorf("tapesys: no library %d", library)
+	}
+	l := s.libs[library]
+	if drive < 0 || drive >= len(l.drives) {
+		return fmt.Errorf("tapesys: no drive %d in library %d", drive, library)
+	}
+	d := l.drives[drive]
+	if d.failed {
+		return fmt.Errorf("tapesys: drive L%d.D%d already failed", library, drive)
+	}
+	d.failed = true
+	d.pinned = false
+	if d.mounted >= 0 {
+		delete(l.byTape, d.mounted)
+		d.mounted = -1
+		d.headPos = 0
+	}
+	s.emit(Event{Kind: EvDriveFailed, Library: library, Drive: drive, Tape: -1, Request: -1})
+	return nil
+}
+
+// FailedDrives returns the count of out-of-service drives.
+func (s *System) FailedDrives() int {
+	n := 0
+	for _, l := range s.libs {
+		for _, d := range l.drives {
+			if d.failed {
+				n++
+			}
+		}
+	}
+	return n
+}

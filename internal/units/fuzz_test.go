@@ -1,0 +1,51 @@
+package units
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBytes checks ParseBytes never panics and that accepted inputs
+// re-format/re-parse consistently.
+func FuzzParseBytes(f *testing.F) {
+	for _, seed := range []string{"400GB", "1.5 TiB", "", "nan", "1e3 kB", "-2MiB", "9e999", "12", "GB", "1 flargs"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		n, err := ParseBytes(in)
+		if err != nil {
+			return
+		}
+		// Any accepted value must format without panicking, and exact SI
+		// multiples must round-trip.
+		_ = FormatBytes(n)
+		s := FormatBytesSI(n)
+		// Only exact-GB values below 1 TB render losslessly at two
+		// decimals ("999.00 GB"); larger values switch units and truncate.
+		if n >= 0 && n%GB == 0 && n < 1000*GB {
+			back, err := ParseBytes(s)
+			if err != nil {
+				t.Fatalf("reparse of %q (from %q = %d) failed: %v", s, in, n, err)
+			}
+			if back != n {
+				t.Fatalf("round trip %q -> %d -> %q -> %d", in, n, s, back)
+			}
+		}
+	})
+}
+
+// FuzzFormatSeconds ensures no input crashes the duration formatter.
+func FuzzFormatSeconds(f *testing.F) {
+	for _, seed := range []float64{0, -1, 59.9, 3600, 1e18, -1e18} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s float64) {
+		out := FormatSeconds(s)
+		if out == "" {
+			t.Fatal("empty formatting")
+		}
+		if s >= 0 && s < 1e15 && strings.HasPrefix(out, "-") {
+			t.Fatalf("non-negative %v formatted negative: %q", s, out)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+// Package units provides byte-size and duration helpers used throughout the
+// simulator. Tape capacities and transfer sizes are held as int64 byte
+// counts; simulated time is held as float64 seconds. This package formats
+// and parses both.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Byte size constants (IEC, powers of 1024). Tape vendors quote decimal
+// units, but the paper's arithmetic (400 GB tapes, 80 MB/s drives) works out
+// the same either way; we standardize on IEC internally.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+	TiB int64 = 1 << 40
+	PiB int64 = 1 << 50
+)
+
+// Decimal byte constants (SI, powers of 1000) for matching vendor specs
+// such as "400 GB" cartridges and "80 MB/s" native transfer rates.
+const (
+	KB int64 = 1e3
+	MB int64 = 1e6
+	GB int64 = 1e9
+	TB int64 = 1e12
+	PB int64 = 1e15
+)
+
+// FormatBytes renders n as a human readable IEC string, e.g. "1.50 GiB".
+// Values below 1 KiB are rendered as plain bytes.
+func FormatBytes(n int64) string {
+	neg := ""
+	un := uint64(n)
+	if n < 0 {
+		neg = "-"
+		un = uint64(-n)
+	}
+	switch {
+	case un >= uint64(PiB):
+		return fmt.Sprintf("%s%.2f PiB", neg, float64(un)/float64(PiB))
+	case un >= uint64(TiB):
+		return fmt.Sprintf("%s%.2f TiB", neg, float64(un)/float64(TiB))
+	case un >= uint64(GiB):
+		return fmt.Sprintf("%s%.2f GiB", neg, float64(un)/float64(GiB))
+	case un >= uint64(MiB):
+		return fmt.Sprintf("%s%.2f MiB", neg, float64(un)/float64(MiB))
+	case un >= uint64(KiB):
+		return fmt.Sprintf("%s%.2f KiB", neg, float64(un)/float64(KiB))
+	default:
+		return fmt.Sprintf("%s%d B", neg, un)
+	}
+}
+
+// FormatBytesSI renders n using decimal multiples, e.g. "400.00 GB", which
+// matches how the paper and tape vendors quote capacities.
+func FormatBytesSI(n int64) string {
+	neg := ""
+	un := uint64(n)
+	if n < 0 {
+		neg = "-"
+		un = uint64(-n)
+	}
+	switch {
+	case un >= uint64(PB):
+		return fmt.Sprintf("%s%.2f PB", neg, float64(un)/float64(PB))
+	case un >= uint64(TB):
+		return fmt.Sprintf("%s%.2f TB", neg, float64(un)/float64(TB))
+	case un >= uint64(GB):
+		return fmt.Sprintf("%s%.2f GB", neg, float64(un)/float64(GB))
+	case un >= uint64(MB):
+		return fmt.Sprintf("%s%.2f MB", neg, float64(un)/float64(MB))
+	case un >= uint64(KB):
+		return fmt.Sprintf("%s%.2f kB", neg, float64(un)/float64(KB))
+	default:
+		return fmt.Sprintf("%s%d B", neg, un)
+	}
+}
+
+// FormatRate renders a bandwidth in bytes/second, e.g. "80.00 MB/s".
+func FormatRate(bytesPerSecond float64) string {
+	abs := math.Abs(bytesPerSecond)
+	switch {
+	case abs >= float64(TB):
+		return fmt.Sprintf("%.2f TB/s", bytesPerSecond/float64(TB))
+	case abs >= float64(GB):
+		return fmt.Sprintf("%.2f GB/s", bytesPerSecond/float64(GB))
+	case abs >= float64(MB):
+		return fmt.Sprintf("%.2f MB/s", bytesPerSecond/float64(MB))
+	case abs >= float64(KB):
+		return fmt.Sprintf("%.2f kB/s", bytesPerSecond/float64(KB))
+	default:
+		return fmt.Sprintf("%.2f B/s", bytesPerSecond)
+	}
+}
+
+// FormatSeconds renders a simulated duration in seconds with an adaptive
+// unit: "482.1s", "12m02s" or "1h03m" for long restores.
+func FormatSeconds(s float64) string {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return fmt.Sprintf("%v", s)
+	}
+	neg := ""
+	if s < 0 {
+		neg = "-"
+		s = -s
+	}
+	switch {
+	case s >= 3600:
+		h := int(s) / 3600
+		m := (int(s) % 3600) / 60
+		return fmt.Sprintf("%s%dh%02dm", neg, h, m)
+	case s >= 60:
+		m := int(s) / 60
+		sec := s - float64(m*60)
+		return fmt.Sprintf("%s%dm%04.1fs", neg, m, sec)
+	default:
+		return fmt.Sprintf("%s%.2fs", neg, s)
+	}
+}
+
+// ParseBytes parses strings like "400GB", "1.5 TiB", "512 MiB", "80MB" into
+// a byte count. Both SI (kB/MB/GB/TB/PB) and IEC (KiB/MiB/GiB/TiB/PiB)
+// suffixes are accepted; a bare number is bytes. Parsing is
+// case-insensitive except that SI "kB" and IEC "KiB" resolve by the
+// presence of the 'i'.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty byte size")
+	}
+	// Split numeric prefix from unit suffix.
+	i := 0
+	for i < len(t) && (t[i] == '+' || t[i] == '-' || t[i] == '.' || (t[i] >= '0' && t[i] <= '9') || t[i] == 'e' || t[i] == 'E') {
+		// Stop treating 'e'/'E' as numeric if it begins the unit (e.g. "1EB"
+		// is not supported anyway; bail at a letter that isn't scientific
+		// notation). Scientific notation requires a digit after e/±.
+		if t[i] == 'e' || t[i] == 'E' {
+			if i+1 >= len(t) {
+				break
+			}
+			c := t[i+1]
+			if !(c == '+' || c == '-' || (c >= '0' && c <= '9')) {
+				break
+			}
+		}
+		i++
+	}
+	numStr := strings.TrimSpace(t[:i])
+	unitStr := strings.TrimSpace(t[i:])
+	val, err := strconv.ParseFloat(numStr, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad byte size %q: %v", s, err)
+	}
+	mult := float64(1)
+	switch strings.ToLower(unitStr) {
+	case "", "b":
+		mult = 1
+	case "kb", "k":
+		mult = float64(KB)
+	case "mb", "m":
+		mult = float64(MB)
+	case "gb", "g":
+		mult = float64(GB)
+	case "tb", "t":
+		mult = float64(TB)
+	case "pb", "p":
+		mult = float64(PB)
+	case "kib":
+		mult = float64(KiB)
+	case "mib":
+		mult = float64(MiB)
+	case "gib":
+		mult = float64(GiB)
+	case "tib":
+		mult = float64(TiB)
+	case "pib":
+		mult = float64(PiB)
+	default:
+		return 0, fmt.Errorf("units: unknown byte unit %q in %q", unitStr, s)
+	}
+	out := val * mult
+	if math.IsNaN(out) || out > math.MaxInt64 || out < math.MinInt64 {
+		return 0, fmt.Errorf("units: byte size %q out of range", s)
+	}
+	return int64(out), nil
+}
+
+// Percent formats a ratio in [0,1] as "NN.N%".
+func Percent(ratio float64) string {
+	return fmt.Sprintf("%.1f%%", 100*ratio)
+}

@@ -1,0 +1,184 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{KiB, "1.00 KiB"},
+		{1536, "1.50 KiB"},
+		{MiB, "1.00 MiB"},
+		{GiB + GiB/2, "1.50 GiB"},
+		{TiB, "1.00 TiB"},
+		{3 * PiB, "3.00 PiB"},
+		{-2 * GiB, "-2.00 GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytesSI(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{400 * GB, "400.00 GB"},
+		{80 * MB, "80.00 MB"},
+		{999, "999 B"},
+		{KB, "1.00 kB"},
+		{96 * TB, "96.00 TB"},
+		{2 * PB, "2.00 PB"},
+		{-400 * GB, "-400.00 GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytesSI(c.in); got != c.want {
+			t.Errorf("FormatBytesSI(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{80e6, "80.00 MB/s"},
+		{1.5e9, "1.50 GB/s"},
+		{2e12, "2.00 TB/s"},
+		{500, "500.00 B/s"},
+		{3.2e3, "3.20 kB/s"},
+	}
+	for _, c := range cases {
+		if got := FormatRate(c.in); got != c.want {
+			t.Errorf("FormatRate(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.00s"},
+		{7.6, "7.60s"},
+		{72, "1m12.0s"},
+		{98, "1m38.0s"},
+		{3600, "1h00m"},
+		{3912, "1h05m"},
+		{-5, "-5.00s"},
+	}
+	for _, c := range cases {
+		if got := FormatSeconds(c.in); got != c.want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatSecondsNonFinite(t *testing.T) {
+	if got := FormatSeconds(math.NaN()); got != "NaN" {
+		t.Errorf("FormatSeconds(NaN) = %q", got)
+	}
+	if got := FormatSeconds(math.Inf(1)); !strings.Contains(got, "Inf") {
+		t.Errorf("FormatSeconds(+Inf) = %q", got)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"400GB", 400 * GB},
+		{"400 GB", 400 * GB},
+		{"80MB", 80 * MB},
+		{"1.5TB", 1500 * GB},
+		{"512MiB", 512 * MiB},
+		{"2KiB", 2 * KiB},
+		{"1024", 1024},
+		{"0", 0},
+		{"1e3", 1000},
+		{"1e3 kB", 1000 * KB},
+		{"3g", 3 * GB},
+		{"7 t", 7 * TB},
+		{"2pb", 2 * PB},
+		{"1pib", PiB},
+		{"-1kb", -KB},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "  ", "GB", "12XB", "1.2.3GB", "9e99GB", "nanGB", "1 flargs"} {
+		if got, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want error", in, got)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	// FormatBytesSI output of exact multiples must re-parse to same value.
+	for _, n := range []int64{0, 400 * GB, 96 * TB, 80 * MB, 5 * KB} {
+		s := FormatBytesSI(n)
+		got, err := ParseBytes(s)
+		if err != nil {
+			t.Fatalf("ParseBytes(%q): %v", s, err)
+		}
+		if got != n {
+			t.Errorf("round trip %d -> %q -> %d", n, s, got)
+		}
+	}
+}
+
+func TestParseBytesQuick(t *testing.T) {
+	// Property: for any non-negative GiB count below 8 PiB, formatting via
+	// FormatBytes and reparsing loses at most 0.5% (two decimal places).
+	f := func(gib uint16) bool {
+		n := int64(gib) * GiB
+		got, err := ParseBytes(FormatBytes(n))
+		if err != nil {
+			return false
+		}
+		if n == 0 {
+			return got == 0
+		}
+		rel := math.Abs(float64(got-n)) / float64(n)
+		return rel < 0.005
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.62); got != "62.0%" {
+		t.Errorf("Percent(0.62) = %q", got)
+	}
+	if got := Percent(0.191); got != "19.1%" {
+		t.Errorf("Percent(0.191) = %q", got)
+	}
+	if got := Percent(1); got != "100.0%" {
+		t.Errorf("Percent(1) = %q", got)
+	}
+}

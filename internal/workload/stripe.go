@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"fmt"
+
+	"paralleltape/internal/model"
+)
+
+// Stripe splits every object of w into shards of at most unit bytes and
+// rewrites every request to reference all shards of its objects. Placing
+// the shard workload with a round-robin scheme reproduces tape striping
+// (RAIT-style): consecutive shards land on consecutive cartridges and one
+// logical object streams from several drives at once.
+//
+// The paper's §2 surveys striping on tape [10,13,14,15] and argues it can
+// lose to non-striped placement because a striped request must synchronize
+// across all member tapes; the striping experiment regenerates that
+// comparison.
+//
+// The returned workload is fully independent of w. Parent returns, for
+// each shard, the original object it came from.
+func Stripe(w *model.Workload, unit int64) (*model.Workload, []model.ObjectID, error) {
+	if unit <= 0 {
+		return nil, nil, fmt.Errorf("workload: stripe unit must be positive, got %d", unit)
+	}
+	out := &model.Workload{}
+	var parent []model.ObjectID
+	// firstShard[o] is the shard ID of object o's first shard; shards of
+	// one object are consecutive.
+	firstShard := make([]model.ObjectID, len(w.Objects))
+	shardCount := make([]int32, len(w.Objects))
+	var next model.ObjectID
+	for i := range w.Objects {
+		o := &w.Objects[i]
+		firstShard[i] = next
+		remaining := o.Size
+		for remaining > 0 {
+			size := unit
+			if remaining < unit {
+				size = remaining
+			}
+			out.Objects = append(out.Objects, model.Object{ID: next, Size: size})
+			parent = append(parent, o.ID)
+			next++
+			shardCount[i]++
+			remaining -= size
+		}
+	}
+	for i := range w.Requests {
+		r := &w.Requests[i]
+		nr := model.Request{ID: r.ID, Prob: r.Prob}
+		for _, id := range r.Objects {
+			base := firstShard[id]
+			for s := int32(0); s < shardCount[id]; s++ {
+				nr.Objects = append(nr.Objects, base+model.ObjectID(s))
+			}
+		}
+		out.Requests = append(out.Requests, nr)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("workload: striped workload invalid: %w", err)
+	}
+	return out, parent, nil
+}

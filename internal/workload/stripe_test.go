@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"paralleltape/internal/model"
+	"paralleltape/internal/rng"
+)
+
+func stripeBase() *model.Workload {
+	return &model.Workload{
+		Objects: []model.Object{
+			{ID: 0, Size: 250}, // 3 shards at unit 100
+			{ID: 1, Size: 100}, // 1 shard
+			{ID: 2, Size: 101}, // 2 shards
+		},
+		Requests: []model.Request{
+			{ID: 0, Prob: 0.5, Objects: []model.ObjectID{0, 1}},
+			{ID: 1, Prob: 0.5, Objects: []model.ObjectID{2}},
+		},
+	}
+}
+
+func TestStripeShardSizes(t *testing.T) {
+	sw, parent, err := Stripe(stripeBase(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.NumObjects() != 6 {
+		t.Fatalf("shards = %d, want 6", sw.NumObjects())
+	}
+	wantSizes := []int64{100, 100, 50, 100, 100, 1}
+	wantParent := []model.ObjectID{0, 0, 0, 1, 2, 2}
+	for i, o := range sw.Objects {
+		if o.Size != wantSizes[i] {
+			t.Errorf("shard %d size %d, want %d", i, o.Size, wantSizes[i])
+		}
+		if parent[i] != wantParent[i] {
+			t.Errorf("shard %d parent %d, want %d", i, parent[i], wantParent[i])
+		}
+	}
+	// Total bytes conserved.
+	if sw.TotalObjectBytes() != stripeBase().TotalObjectBytes() {
+		t.Errorf("striping changed total bytes")
+	}
+}
+
+func TestStripeRequestsExpand(t *testing.T) {
+	sw, _, err := Stripe(stripeBase(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Requests[0].Objects) != 4 { // 3 shards of obj 0 + 1 of obj 1
+		t.Errorf("request 0 shards: %v", sw.Requests[0].Objects)
+	}
+	if len(sw.Requests[1].Objects) != 2 {
+		t.Errorf("request 1 shards: %v", sw.Requests[1].Objects)
+	}
+	// Byte volume per request preserved.
+	base := stripeBase()
+	for i := range base.Requests {
+		if sw.RequestBytes(&sw.Requests[i]) != base.RequestBytes(&base.Requests[i]) {
+			t.Errorf("request %d bytes changed", i)
+		}
+	}
+}
+
+func TestStripeUnitLargerThanObjects(t *testing.T) {
+	sw, parent, err := Stripe(stripeBase(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.NumObjects() != 3 {
+		t.Errorf("oversized unit should keep objects whole: %d", sw.NumObjects())
+	}
+	for i, p := range parent {
+		if int(p) != i {
+			t.Errorf("identity mapping broken: %v", parent)
+		}
+	}
+}
+
+func TestStripeRejectsBadUnit(t *testing.T) {
+	for _, unit := range []int64{0, -5} {
+		if _, _, err := Stripe(stripeBase(), unit); err == nil {
+			t.Errorf("unit %d accepted", unit)
+		}
+	}
+}
+
+func TestStripeGeneratedWorkloadValid(t *testing.T) {
+	p := smallParams()
+	w, err := Generate(p, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, parent, err := Stripe(w, p.MinObjSize) // aggressive striping
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(parent) != sw.NumObjects() {
+		t.Errorf("parent len %d vs %d shards", len(parent), sw.NumObjects())
+	}
+	if sw.NumObjects() <= w.NumObjects() {
+		t.Errorf("aggressive striping produced no extra shards")
+	}
+	if sw.TotalObjectBytes() != w.TotalObjectBytes() {
+		t.Errorf("bytes not conserved")
+	}
+}

@@ -1,0 +1,248 @@
+package paralleltape
+
+import (
+	"math"
+	"testing"
+
+	"paralleltape/internal/units"
+)
+
+// testWorkload returns a small workload plus shrunken hardware so the
+// public-API tests stay fast while still exercising tape switching.
+func testSetup(t *testing.T) (Hardware, *Workload) {
+	t.Helper()
+	hw := DefaultHardware()
+	hw.Capacity = 20 * units.GB
+	hw.TapesPerLib = 20
+	p := DefaultWorkloadParams()
+	p.NumObjects = 1500
+	p.NumRequests = 30
+	p.MinObjSize = 64 * units.MB
+	p.MaxObjSize = 1 * units.GB
+	p.MinReqLen = 20
+	p.MaxReqLen = 40
+	w, err := GenerateWorkload(p, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw, w
+}
+
+func TestDefaultHardwarePublic(t *testing.T) {
+	hw := DefaultHardware()
+	if hw.Libraries != 3 || hw.DrivesPerLib != 8 || hw.TapesPerLib != 80 {
+		t.Errorf("unexpected default hardware: %+v", hw)
+	}
+	if err := hw.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateWorkloadPublic(t *testing.T) {
+	_, w := testSetup(t)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumObjects() != 1500 || w.NumRequests() != 30 {
+		t.Errorf("counts: %d/%d", w.NumObjects(), w.NumRequests())
+	}
+}
+
+func TestPlaceAndSimulateAllSchemes(t *testing.T) {
+	hw, w := testSetup(t)
+	schemes := []Scheme{
+		NewParallelBatch(2),
+		NewObjectProbability(),
+		NewClusterProbability(),
+		NewRoundRobin(),
+	}
+	for _, s := range schemes {
+		pl, err := Place(hw, s, w)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if pl.TapesUsed <= 0 {
+			t.Errorf("%s: TapesUsed = %d", s.Name(), pl.TapesUsed)
+		}
+		stats, err := Simulate(hw, s, w, 25, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if stats.Requests != 25 || stats.MeanBandwidth <= 0 || stats.MeanResponse <= 0 {
+			t.Errorf("%s: degenerate stats %+v", s.Name(), stats)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	hw, w := testSetup(t)
+	a, err := Simulate(hw, NewParallelBatch(2), w, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(hw, NewParallelBatch(2), w, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanResponse != b.MeanResponse || a.MeanBandwidth != b.MeanBandwidth {
+		t.Errorf("Simulate not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulateRejectsBadCount(t *testing.T) {
+	hw, w := testSetup(t)
+	if _, err := Simulate(hw, NewParallelBatch(2), w, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestTargetMeanRequestBytesPublic(t *testing.T) {
+	_, w := testSetup(t)
+	target := 5 * float64(units.GB)
+	if _, err := TargetMeanRequestBytes(w, target); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MeanRequestBytes(); math.Abs(got-target)/target > 0.01 {
+		t.Errorf("mean request bytes = %v, want %v", got, target)
+	}
+}
+
+func TestReplaceAlphaPublic(t *testing.T) {
+	_, w := testSetup(t)
+	flat, err := ReplaceAlpha(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat.Requests {
+		if math.Abs(flat.Requests[i].Prob-1.0/30) > 1e-12 {
+			t.Fatalf("alpha=0 prob %v", flat.Requests[i].Prob)
+		}
+	}
+}
+
+func TestClusterObjectsPublic(t *testing.T) {
+	_, w := testSetup(t)
+	res, err := ClusterObjects(w, DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Error("no clusters produced")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	cfg := QuickExperimentConfig()
+	cfg.Requests = 15
+	rep, err := RunExperiment("fig9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Errorf("fig9 rows = %d", len(rep.Rows))
+	}
+	if _, err := RunExperiment("bogus", cfg); err == nil {
+		t.Error("bogus experiment accepted")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatBytes(400 * units.GB); got != "400.00 GB" {
+		t.Errorf("FormatBytes = %q", got)
+	}
+	if got := FormatRate(80e6); got != "80.00 MB/s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+	if got := FormatSeconds(72); got != "1m12.0s" {
+		t.Errorf("FormatSeconds = %q", got)
+	}
+}
+
+func TestSchemeOrderingHolds(t *testing.T) {
+	// The paper's headline on the public API: parallel batch beats the two
+	// baselines on this mid-skew workload.
+	hw, w := testSetup(t)
+	pb, err := Simulate(hw, NewParallelBatch(2), w, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Simulate(hw, NewClusterProbability(), w, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.MeanBandwidth <= cp.MeanBandwidth {
+		t.Errorf("parallel batch (%v) did not beat cluster probability (%v)",
+			pb.MeanBandwidth, cp.MeanBandwidth)
+	}
+}
+
+func TestOnlinePublic(t *testing.T) {
+	hw, w := testSetup(t)
+	stats, err := Simulate(hw, NewOnline(3, 2), w, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeanBandwidth <= 0 {
+		t.Errorf("degenerate online stats: %+v", stats)
+	}
+}
+
+func TestStripeWorkloadPublic(t *testing.T) {
+	_, w := testSetup(t)
+	sw, parent, err := StripeWorkload(w, 128*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.NumObjects() <= w.NumObjects() {
+		t.Error("striping produced no shards")
+	}
+	if len(parent) != sw.NumObjects() {
+		t.Errorf("parent mapping sized %d for %d shards", len(parent), sw.NumObjects())
+	}
+	if sw.TotalObjectBytes() != w.TotalObjectBytes() {
+		t.Error("striping changed total bytes")
+	}
+}
+
+func TestSystemWithOptionsPublic(t *testing.T) {
+	hw, w := testSetup(t)
+	pl, err := Place(hw, NewParallelBatch(2), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemWithOptions(hw, pl, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Submit(&w.Requests[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyticModelPublic(t *testing.T) {
+	hw, w := testSetup(t)
+	pl, err := Place(hw, NewParallelBatch(2), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewAnalyticModel(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mod.EstimateSession(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Response <= 0 || est.Bandwidth() <= 0 {
+		t.Errorf("degenerate estimate: %+v", est)
+	}
+	if est.Bandwidth() > IdealBandwidth(hw) {
+		t.Errorf("estimate %v exceeds hardware ceiling %v", est.Bandwidth(), IdealBandwidth(hw))
+	}
+}
