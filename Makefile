@@ -1,0 +1,32 @@
+# Developer entry points. `make check` is the verification gate run before
+# every commit: build + vet + race-enabled tests + the trace-schema doc lint.
+
+GO ?= go
+
+.PHONY: check build vet test lint bench golden
+
+check:
+	./check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# lint fails if an exported identifier in internal/trace lacks a doc
+# comment — the trace schema is a documented contract (docs/OBSERVABILITY.md).
+lint:
+	$(GO) test ./internal/trace -run TestExportedIdentifiersHaveDocComments -count=1
+
+# bench runs the paper-exhibit benchmarks at reduced scale.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# golden regenerates the byte-stable JSONL trace golden file after an
+# intentional schema change (update docs/OBSERVABILITY.md alongside).
+golden:
+	UPDATE_GOLDEN=1 $(GO) test ./internal/tapesys -run Golden -count=1

@@ -163,6 +163,48 @@ func BenchmarkSimulateRequest(b *testing.B) {
 	}
 }
 
+// BenchmarkRun measures the simulation hot path with tracing disabled —
+// the default configuration. Its allocs/op must not regress when
+// observability hooks are added: with no recorder attached, every emit
+// site is a nil check and nothing more.
+func BenchmarkRun(b *testing.B) { benchSubmit(b, false) }
+
+// BenchmarkRunTraced measures the same path with an in-memory trace
+// buffer attached, bounding the cost of enabling observability.
+func BenchmarkRunTraced(b *testing.B) { benchSubmit(b, true) }
+
+func benchSubmit(b *testing.B, traced bool) {
+	b.Helper()
+	cfg := benchCfg()
+	w, err := GenerateWorkload(benchParams(cfg), cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := cfg.HW
+	pl, err := Place(hw, NewParallelBatch(cfg.M), w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewSystem(hw, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf *TraceBuffer
+	if traced {
+		buf = sys.EnableTrace(0)
+	}
+	reqs := w.Requests
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Submit(&reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+		if traced {
+			buf.Reset() // keep memory flat; recording cost still measured
+		}
+	}
+}
+
 // benchParams mirrors the experiment harness's scaled workload parameters:
 // object population and request lengths scale, the predefined request
 // count stays at the paper's 300, and the object-size tail is capped

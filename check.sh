@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh — the repository's verification gate (same steps as `make check`):
+# build everything, vet everything, run the full test suite under the race
+# detector, and run the trace-schema doc lint (every exported identifier in
+# internal/trace must carry a doc comment; see internal/trace/doclint_test.go).
+set -eu
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== doc lint (internal/trace exported identifiers)"
+go test ./internal/trace -run TestExportedIdentifiersHaveDocComments -count=1
+
+echo "check: OK"

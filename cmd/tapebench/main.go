@@ -1,6 +1,8 @@
 // Command tapebench regenerates the paper's evaluation: Table 1 and
 // Figures 5–9, plus the technology-scaling and robustness studies and the
-// parallel-batch design ablation.
+// parallel-batch design ablation. Profiling hooks (-pprof, -cpuprofile,
+// -memprofile, -gostats) expose where harness time and memory go; see
+// docs/OBSERVABILITY.md.
 //
 // Examples:
 //
@@ -8,17 +10,23 @@
 //	tapebench -experiment fig6     # one exhibit
 //	tapebench -quick               # reduced scale (CI-sized)
 //	tapebench -experiment fig9 -csv -o fig9.csv
+//	tapebench -pprof :6060 -gostats
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the standard profiling endpoints
 	"os"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
 	"time"
 
 	"paralleltape"
-	"paralleltape/internal/metrics"
+	pmetrics "paralleltape/internal/metrics"
 )
 
 func main() {
@@ -33,8 +41,34 @@ func main() {
 		chart    = flag.Bool("chart", false, "append a bandwidth bar chart to each exhibit")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 		outPath  = flag.String("o", "", "write output to a file instead of stdout")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the life of the run")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		goStats  = flag.Bool("gostats", false, "print Go runtime metrics (GC, heap, scheduler) after the run")
 	)
 	flag.Parse()
+
+	if *pprofSrv != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "tapebench: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "tapebench: pprof listening on http://%s/debug/pprof/\n", *pprofSrv)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tapebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tapebench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := paralleltape.DefaultExperimentConfig()
 	if *quick {
@@ -63,6 +97,94 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tapebench:", err)
 		os.Exit(1)
 	}
+	if *goStats {
+		if err := writeRuntimeStats(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "tapebench:", err)
+			os.Exit(1)
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tapebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tapebench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runtimeStatNames are the runtime/metrics samples -gostats reports: the
+// memory footprint, GC effort, and scheduler latency of the harness.
+var runtimeStatNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+	"/sched/goroutines:goroutines",
+	"/cpu/classes/gc/total:cpu-seconds",
+}
+
+// writeRuntimeStats samples and prints the selected runtime metrics.
+func writeRuntimeStats(w io.Writer) error {
+	samples := make([]metrics.Sample, len(runtimeStatNames))
+	for i, name := range runtimeStatNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	if _, err := fmt.Fprintln(w, "\nruntime metrics:"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		var val string
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			val = fmt.Sprintf("%d", s.Value.Uint64())
+		case metrics.KindFloat64:
+			val = fmt.Sprintf("%g", s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			val = fmt.Sprintf("p50=%.6gs p99=%.6gs", histQuantile(h, 0.50), histQuantile(h, 0.99))
+		default:
+			val = "unsupported"
+		}
+		if _, err := fmt.Fprintf(w, "  %-40s %s\n", s.Name, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histQuantile approximates a quantile of a runtime/metrics histogram by
+// walking bucket counts; it returns the lower bound of the bucket where
+// the cumulative count crosses q.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Buckets[i] is the lower bound of bucket i.
+			if i < len(h.Buckets) {
+				return h.Buckets[i]
+			}
+			return h.Buckets[len(h.Buckets)-1]
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
 }
 
 func run(out io.Writer, experiment string, cfg paralleltape.ExperimentConfig, csv, chart, jsonOut bool) error {
@@ -91,7 +213,7 @@ func run(out io.Writer, experiment string, cfg paralleltape.ExperimentConfig, cs
 				values = append(values, r.Stats.MeanBandwidth/1e6)
 			}
 			fmt.Fprintln(out)
-			if err := metrics.BarChart(out, "effective bandwidth (MB/s)", labels, values, 50); err != nil {
+			if err := pmetrics.BarChart(out, "effective bandwidth (MB/s)", labels, values, 50); err != nil {
 				return err
 			}
 		}

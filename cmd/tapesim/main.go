@@ -1,18 +1,24 @@
 // Command tapesim runs a single parallel-tape-storage simulation: it
 // generates (or loads) a workload, places it with a chosen scheme, submits
-// a stream of requests, and prints the paper's §6 metrics.
+// a stream of requests, and prints the paper's §6 metrics. Opt-in
+// observability flags export a structured event trace (-trace) and a
+// per-component run report (-report); both formats are documented in
+// docs/OBSERVABILITY.md.
 //
 // Examples:
 //
 //	tapesim -scheme parallel-batch -m 4 -requests 200
 //	tapesim -scheme object-probability -alpha 0.7 -libraries 2
-//	tapesim -scheme cluster-probability -trace workload.json -csv
+//	tapesim -scheme cluster-probability -workload workload.json -csv
+//	tapesim -requests 50 -trace run.jsonl -report -
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"paralleltape"
 	"paralleltape/internal/metrics"
@@ -20,59 +26,82 @@ import (
 	"paralleltape/internal/placement"
 	"paralleltape/internal/rng"
 	"paralleltape/internal/tapesys"
+	"paralleltape/internal/trace"
 	"paralleltape/internal/units"
 	"paralleltape/internal/workload"
 )
 
+// options bundles every tapesim flag; tests drive run() through it.
+type options struct {
+	scheme    string
+	m         int
+	epochs    int
+	requests  int
+	seed      uint64
+	alpha     float64
+	objects   int
+	nRequests int
+	libraries int
+	drives    int
+	tapes     int
+	capacity  string
+	rate      string
+	target    string
+	workload  string // JSON workload trace to load instead of generating
+	tracePath string // structured event trace export (.jsonl or .csv)
+	report    string // run report destination ("-" for stdout)
+	csv       bool
+	verbose   bool
+	util      bool
+	estimate  bool
+	describe  bool
+	events    int
+}
+
 func main() {
-	var (
-		schemeName = flag.String("scheme", "parallel-batch",
-			"placement scheme: parallel-batch, object-probability, cluster-probability, round-robin, online")
-		m         = flag.Int("m", 4, "switch drives per library (parallel-batch/online)")
-		epochs    = flag.Int("epochs", 4, "arrival waves for the online scheme")
-		requests  = flag.Int("requests", 200, "number of simulated request submissions")
-		seed      = flag.Uint64("seed", 20060815, "master random seed")
-		alpha     = flag.Float64("alpha", 0.3, "Zipf request popularity skew")
-		objects   = flag.Int("objects", 30000, "object population")
-		nRequests = flag.Int("predefined", 300, "predefined request count")
-		libraries = flag.Int("libraries", 3, "number of tape libraries")
-		drives    = flag.Int("drives", 8, "drives per library")
-		tapes     = flag.Int("tapes", 80, "tapes per library")
-		capacity  = flag.String("capacity", "400GB", "cartridge capacity")
-		rate      = flag.String("rate", "80MB", "native transfer rate (bytes/s)")
-		target    = flag.String("request-size", "", "rescale object sizes to this mean request size (e.g. 213GB)")
-		trace     = flag.String("trace", "", "load workload from a JSON trace instead of generating")
-		csv       = flag.Bool("csv", false, "emit per-request metrics as CSV")
-		verbose   = flag.Bool("v", false, "print per-request lines")
-		util      = flag.Bool("utilization", false, "print drive/robot utilization after the run")
-		describe  = flag.Bool("describe", false, "print placement diagnostics before simulating")
-		estimate  = flag.Bool("estimate", false, "print the analytic (no-simulation) estimate alongside")
-		traceN    = flag.Int("events", 0, "print the first N simulator events")
-	)
+	var o options
+	flag.StringVar(&o.scheme, "scheme", "parallel-batch",
+		"placement scheme: parallel-batch, object-probability, cluster-probability, round-robin, online")
+	flag.IntVar(&o.m, "m", 4, "switch drives per library (parallel-batch/online)")
+	flag.IntVar(&o.epochs, "epochs", 4, "arrival waves for the online scheme")
+	flag.IntVar(&o.requests, "requests", 200, "number of simulated request submissions")
+	flag.Uint64Var(&o.seed, "seed", 20060815, "master random seed")
+	flag.Float64Var(&o.alpha, "alpha", 0.3, "Zipf request popularity skew")
+	flag.IntVar(&o.objects, "objects", 30000, "object population")
+	flag.IntVar(&o.nRequests, "predefined", 300, "predefined request count")
+	flag.IntVar(&o.libraries, "libraries", 3, "number of tape libraries")
+	flag.IntVar(&o.drives, "drives", 8, "drives per library")
+	flag.IntVar(&o.tapes, "tapes", 80, "tapes per library")
+	flag.StringVar(&o.capacity, "capacity", "400GB", "cartridge capacity")
+	flag.StringVar(&o.rate, "rate", "80MB", "native transfer rate (bytes/s)")
+	flag.StringVar(&o.target, "request-size", "", "rescale object sizes to this mean request size (e.g. 213GB)")
+	flag.StringVar(&o.workload, "workload", "", "load workload from a JSON trace instead of generating")
+	flag.StringVar(&o.tracePath, "trace", "", "write the structured event trace to this file (JSONL; .csv extension switches to CSV)")
+	flag.StringVar(&o.report, "report", "", "write the per-component run report to this file (text; .csv extension switches to CSV; - for stdout)")
+	flag.BoolVar(&o.csv, "csv", false, "emit per-request metrics as CSV")
+	flag.BoolVar(&o.verbose, "v", false, "print per-request lines")
+	flag.BoolVar(&o.util, "utilization", false, "print drive/robot utilization after the run")
+	flag.BoolVar(&o.describe, "describe", false, "print placement diagnostics before simulating")
+	flag.BoolVar(&o.estimate, "estimate", false, "print the analytic (no-simulation) estimate alongside")
+	flag.IntVar(&o.events, "events", 0, "print the first N simulator events")
 	flag.Parse()
 
-	if err := run(*schemeName, *m, *epochs, *requests, *seed, *alpha, *objects, *nRequests,
-		*libraries, *drives, *tapes, *capacity, *rate, *target, *trace, *csv, *verbose,
-		*util, *estimate, *describe, *traceN); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tapesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemeName string, m, epochs, requests int, seed uint64, alpha float64,
-	objects, nRequests, libraries, drives, tapes int,
-	capacityStr, rateStr, targetStr, trace string, csv, verbose, util, estimate, describe bool,
-	traceN int) error {
-
+func run(o options) error {
 	hw := paralleltape.DefaultHardware()
-	hw.Libraries = libraries
-	hw.DrivesPerLib = drives
-	hw.TapesPerLib = tapes
+	hw.Libraries = o.libraries
+	hw.DrivesPerLib = o.drives
+	hw.TapesPerLib = o.tapes
 	var err error
-	if hw.Capacity, err = units.ParseBytes(capacityStr); err != nil {
+	if hw.Capacity, err = units.ParseBytes(o.capacity); err != nil {
 		return err
 	}
-	rateBytes, err := units.ParseBytes(rateStr)
+	rateBytes, err := units.ParseBytes(o.rate)
 	if err != nil {
 		return err
 	}
@@ -82,8 +111,8 @@ func run(schemeName string, m, epochs, requests int, seed uint64, alpha float64,
 	}
 
 	var w *model.Workload
-	if trace != "" {
-		f, err := os.Open(trace)
+	if o.workload != "" {
+		f, err := os.Open(o.workload)
 		if err != nil {
 			return err
 		}
@@ -93,15 +122,15 @@ func run(schemeName string, m, epochs, requests int, seed uint64, alpha float64,
 		}
 	} else {
 		p := paralleltape.DefaultWorkloadParams()
-		p.NumObjects = objects
-		p.NumRequests = nRequests
-		p.Alpha = alpha
-		if w, err = paralleltape.GenerateWorkload(p, seed); err != nil {
+		p.NumObjects = o.objects
+		p.NumRequests = o.nRequests
+		p.Alpha = o.alpha
+		if w, err = paralleltape.GenerateWorkload(p, o.seed); err != nil {
 			return err
 		}
 	}
-	if targetStr != "" {
-		t, err := units.ParseBytes(targetStr)
+	if o.target != "" {
+		t, err := units.ParseBytes(o.target)
 		if err != nil {
 			return err
 		}
@@ -111,9 +140,9 @@ func run(schemeName string, m, epochs, requests int, seed uint64, alpha float64,
 	}
 
 	var scheme placement.Scheme
-	switch schemeName {
+	switch o.scheme {
 	case "parallel-batch":
-		scheme = placement.ParallelBatch{M: m}
+		scheme = placement.ParallelBatch{M: o.m}
 	case "object-probability":
 		scheme = placement.ObjectProbability{}
 	case "cluster-probability":
@@ -121,9 +150,9 @@ func run(schemeName string, m, epochs, requests int, seed uint64, alpha float64,
 	case "round-robin":
 		scheme = placement.RoundRobin{}
 	case "online":
-		scheme = placement.Online{Epochs: epochs, M: m}
+		scheme = placement.Online{Epochs: o.epochs, M: o.m}
 	default:
-		return fmt.Errorf("unknown scheme %q", schemeName)
+		return fmt.Errorf("unknown scheme %q", o.scheme)
 	}
 
 	stats := w.ComputeStats()
@@ -139,7 +168,7 @@ func run(schemeName string, m, epochs, requests int, seed uint64, alpha float64,
 		return err
 	}
 	fmt.Printf("placement: %s using %d tapes\n\n", pl.Scheme, pl.TapesUsed)
-	if describe {
+	if o.describe {
 		d, err := placement.Describe(pl, w, hw)
 		if err != nil {
 			return err
@@ -154,36 +183,67 @@ func run(schemeName string, m, epochs, requests int, seed uint64, alpha float64,
 	if err != nil {
 		return err
 	}
-	var tr *tapesys.Trace
-	if traceN > 0 {
-		tr = sys.EnableTrace(traceN)
+
+	// Assemble the recorder stack: a streaming exporter for -trace, an
+	// in-memory buffer for -report / -events. One Tee feeds them all.
+	var recs trace.Tee
+	var traceFile *os.File
+	var traceSink interface {
+		trace.Recorder
+		Close() error
 	}
-	stream, err := workload.NewRequestStream(w, rng.New(seed^0xDEADBEEF))
+	if o.tracePath != "" {
+		traceFile, err = os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		if strings.HasSuffix(o.tracePath, ".csv") {
+			traceSink = trace.NewCSVWriter(traceFile)
+		} else {
+			traceSink = trace.NewJSONLWriter(traceFile)
+		}
+		recs = append(recs, traceSink)
+	}
+	var buf *trace.Buffer
+	if o.report != "" || o.events > 0 {
+		limit := 0
+		if o.report == "" {
+			limit = o.events
+		}
+		buf = trace.NewBuffer(limit)
+		recs = append(recs, buf)
+	}
+	if len(recs) > 0 {
+		sys.SetRecorder(recs)
+	}
+
+	stream, err := workload.NewRequestStream(w, rng.New(o.seed^0xDEADBEEF))
 	if err != nil {
 		return err
 	}
-	if csv {
+	if o.csv {
 		fmt.Println("request,bytes,response_s,switch_s,seek_s,transfer_s,bandwidth_MBps,switches,tapes,drives")
 	}
-	ms := make([]tapesys.RequestMetrics, 0, requests)
-	for i := 0; i < requests; i++ {
+	ms := make([]tapesys.RequestMetrics, 0, o.requests)
+	for i := 0; i < o.requests; i++ {
 		mtr, err := sys.Submit(stream.Next())
 		if err != nil {
 			return err
 		}
 		ms = append(ms, mtr)
-		if csv {
+		if o.csv {
 			fmt.Printf("%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%d,%d,%d\n",
 				mtr.Request, mtr.Bytes, mtr.Response, mtr.Switch, mtr.Seek, mtr.Transfer,
 				mtr.Bandwidth()/1e6, mtr.Switches, mtr.TapesTouched, mtr.DrivesUsed)
-		} else if verbose {
+		} else if o.verbose {
 			fmt.Printf("req %3d: %8s in %9s  (bw %s, %d switches, %d tapes, %d drives)\n",
 				mtr.Request, units.FormatBytesSI(mtr.Bytes), units.FormatSeconds(mtr.Response),
 				units.FormatRate(mtr.Bandwidth()), mtr.Switches, mtr.TapesTouched, mtr.DrivesUsed)
 		}
 	}
 	agg := metrics.AggregateSession(ms)
-	if !csv {
+	if !o.csv {
 		fmt.Println()
 		fmt.Printf("requests simulated        %d (%s transferred)\n", agg.Requests, units.FormatBytesSI(agg.Bytes))
 		fmt.Printf("effective bandwidth       %s (aggregate %s)\n",
@@ -197,7 +257,7 @@ func run(schemeName string, m, epochs, requests int, seed uint64, alpha float64,
 		fmt.Printf("avg drives per request    %.2f\n", agg.MeanDrivesUsed)
 		fmt.Printf("p95 response time         %s\n", units.FormatSeconds(agg.Response.P95))
 	}
-	if estimate {
+	if o.estimate {
 		mod, err := paralleltape.NewAnalyticModel(hw, pl)
 		if err != nil {
 			return err
@@ -214,17 +274,44 @@ func run(schemeName string, m, epochs, requests int, seed uint64, alpha float64,
 			units.FormatRate(est.Bandwidth()))
 		fmt.Printf("  hardware ceiling %s\n", units.FormatRate(paralleltape.IdealBandwidth(hw)))
 	}
-	if util {
+	if o.util {
 		fmt.Println()
 		if err := sys.WriteUtilization(os.Stdout); err != nil {
 			return err
 		}
 	}
-	if tr != nil {
+	if o.events > 0 && buf != nil {
+		n := o.events
+		if n > len(buf.Events) {
+			n = len(buf.Events)
+		}
 		fmt.Println()
-		if err := tr.WriteText(os.Stdout); err != nil {
+		if err := trace.WriteText(os.Stdout, buf.Events[:n]); err != nil {
 			return err
 		}
+	}
+	if traceSink != nil {
+		if err := traceSink.Close(); err != nil {
+			return err
+		}
+	}
+	if o.report != "" && buf != nil {
+		tl := metrics.BuildTimeline(buf.Events)
+		var out io.Writer = os.Stdout
+		if o.report != "-" {
+			f, err := os.Create(o.report)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		} else {
+			fmt.Println()
+		}
+		if o.report != "-" && strings.HasSuffix(o.report, ".csv") {
+			return tl.WriteCSV(out)
+		}
+		return tl.WriteText(out)
 	}
 	return nil
 }

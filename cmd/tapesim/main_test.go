@@ -1,39 +1,25 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
-// runArgs bundles run()'s long parameter list with small-workload defaults.
-func runSmall(t *testing.T, scheme string, mutate func(args *simArgs)) error {
+// runSmall drives run() with small-workload defaults, optionally mutated.
+func runSmall(t *testing.T, scheme string, mutate func(o *options)) error {
 	t.Helper()
-	a := &simArgs{
+	o := options{
 		scheme: scheme, m: 2, epochs: 2, requests: 5, seed: 1, alpha: 0.3,
 		objects: 300, nRequests: 15, libraries: 2, drives: 4, tapes: 16,
 		capacity: "20GB", rate: "80MB",
 	}
 	if mutate != nil {
-		mutate(a)
+		mutate(&o)
 	}
-	return run(a.scheme, a.m, a.epochs, a.requests, a.seed, a.alpha,
-		a.objects, a.nRequests, a.libraries, a.drives, a.tapes,
-		a.capacity, a.rate, a.target, a.trace, a.csv, a.verbose,
-		a.util, a.estimate, a.describe, a.traceN)
-}
-
-type simArgs struct {
-	scheme                        string
-	m, epochs, requests           int
-	seed                          uint64
-	alpha                         float64
-	objects, nRequests, libraries int
-	drives, tapes                 int
-	capacity, rate, target, trace string
-	csv, verbose, util, estimate  bool
-	describe                      bool
-	traceN                        int
+	return run(o)
 }
 
 func TestRunAllSchemes(t *testing.T) {
@@ -53,40 +39,40 @@ func TestRunUnknownScheme(t *testing.T) {
 }
 
 func TestRunFlagsVariants(t *testing.T) {
-	if err := runSmall(t, "parallel-batch", func(a *simArgs) {
-		a.csv = true
+	if err := runSmall(t, "parallel-batch", func(o *options) {
+		o.csv = true
 	}); err != nil {
 		t.Errorf("csv: %v", err)
 	}
-	if err := runSmall(t, "parallel-batch", func(a *simArgs) {
-		a.verbose = true
-		a.util = true
-		a.estimate = true
-		a.describe = true
-		a.traceN = 5
-		a.target = "30GB"
+	if err := runSmall(t, "parallel-batch", func(o *options) {
+		o.verbose = true
+		o.util = true
+		o.estimate = true
+		o.describe = true
+		o.events = 5
+		o.target = "30GB"
 	}); err != nil {
-		t.Errorf("verbose/util/estimate/trace: %v", err)
+		t.Errorf("verbose/util/estimate/events: %v", err)
 	}
 }
 
 func TestRunBadInputs(t *testing.T) {
-	if err := runSmall(t, "parallel-batch", func(a *simArgs) { a.capacity = "12XB" }); err == nil {
+	if err := runSmall(t, "parallel-batch", func(o *options) { o.capacity = "12XB" }); err == nil {
 		t.Error("bad capacity accepted")
 	}
-	if err := runSmall(t, "parallel-batch", func(a *simArgs) { a.rate = "" }); err == nil {
+	if err := runSmall(t, "parallel-batch", func(o *options) { o.rate = "" }); err == nil {
 		t.Error("bad rate accepted")
 	}
-	if err := runSmall(t, "parallel-batch", func(a *simArgs) { a.target = "zzz" }); err == nil {
+	if err := runSmall(t, "parallel-batch", func(o *options) { o.target = "zzz" }); err == nil {
 		t.Error("bad target accepted")
 	}
-	if err := runSmall(t, "parallel-batch", func(a *simArgs) { a.libraries = 0 }); err == nil {
+	if err := runSmall(t, "parallel-batch", func(o *options) { o.libraries = 0 }); err == nil {
 		t.Error("zero libraries accepted")
 	}
 }
 
-func TestRunFromTrace(t *testing.T) {
-	// Write a tiny trace and replay it.
+func TestRunFromWorkloadTrace(t *testing.T) {
+	// Write a tiny workload trace and replay it.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.json")
 	raw := `{"objects":[{"id":0,"size":1000000000},{"id":1,"size":2000000000}],` +
@@ -94,13 +80,72 @@ func TestRunFromTrace(t *testing.T) {
 	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSmall(t, "cluster-probability", func(a *simArgs) {
-		a.trace = path
-		a.requests = 3
+	if err := runSmall(t, "cluster-probability", func(o *options) {
+		o.workload = path
+		o.requests = 3
 	}); err != nil {
-		t.Errorf("trace replay: %v", err)
+		t.Errorf("workload replay: %v", err)
 	}
-	if err := runSmall(t, "parallel-batch", func(a *simArgs) { a.trace = filepath.Join(dir, "missing.json") }); err == nil {
-		t.Error("missing trace accepted")
+	if err := runSmall(t, "parallel-batch", func(o *options) { o.workload = filepath.Join(dir, "missing.json") }); err == nil {
+		t.Error("missing workload accepted")
+	}
+}
+
+func TestRunTraceAndReportExports(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "run.jsonl")
+	traceCSV := filepath.Join(dir, "run.csv")
+	reportTxt := filepath.Join(dir, "report.txt")
+	reportCSV := filepath.Join(dir, "report.csv")
+
+	if err := runSmall(t, "parallel-batch", func(o *options) {
+		o.tracePath = jsonl
+		o.report = reportTxt
+	}); err != nil {
+		t.Fatalf("jsonl trace + text report: %v", err)
+	}
+	if err := runSmall(t, "parallel-batch", func(o *options) {
+		o.tracePath = traceCSV
+		o.report = reportCSV
+	}); err != nil {
+		t.Fatalf("csv trace + csv report: %v", err)
+	}
+
+	tr, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(tr, []byte(`{"t":0,"kind":"submit"`)) {
+		t.Errorf("jsonl trace does not start with a submit event: %.80s", tr)
+	}
+	for _, frag := range []string{`"kind":"complete"`, `"kind":"serve-end"`} {
+		if !bytes.Contains(tr, []byte(frag)) {
+			t.Errorf("jsonl trace missing %s", frag)
+		}
+	}
+	cs, err := os.ReadFile(traceCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(cs, []byte("t,kind,lib,drive,tape,req,bytes,dur,queue,name\n")) {
+		t.Errorf("csv trace header wrong: %.80s", cs)
+	}
+	rep, err := os.ReadFile(reportTxt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"run:", "components:", "per-drive timeline", "per-robot timeline"} {
+		if !strings.Contains(string(rep), frag) {
+			t.Errorf("text report missing %q:\n%s", frag, rep)
+		}
+	}
+	repCSV, err := os.ReadFile(reportCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"section,key,value", "run,requests,5", "drive,", "robot,"} {
+		if !strings.Contains(string(repCSV), frag) {
+			t.Errorf("csv report missing %q:\n%s", frag, repCSV)
+		}
 	}
 }

@@ -1,5 +1,5 @@
 // Command tracegen synthesizes a workload per the paper's §6 settings and
-// writes it as a JSON trace consumable by tapesim -trace and by the
+// writes it as a JSON trace consumable by tapesim -workload and by the
 // library's model.ReadJSON.
 //
 // Example:

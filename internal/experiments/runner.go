@@ -1,12 +1,16 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§6): the hardware table (Table 1) and Figures 5–9, plus the
-// technology-scaling and robustness studies the paper mentions in passing
-// and an ablation of the parallel-batch design choices.
+// technology-scaling and robustness studies the paper mentions in passing,
+// an ablation of the parallel-batch design choices, and four extension
+// studies (RAIT-style striping, online placement, scheduler policies,
+// clustering sensitivity).
 //
 // Each experiment expands into a set of independent simulation runs
 // (scheme × parameter point), executed by a goroutine worker pool; each
 // run is itself a deterministic single-threaded simulation seeded from the
-// experiment seed, so reports reproduce exactly for a given Config.
+// experiment seed, so reports reproduce exactly for a given Config —
+// parallelism changes wall-clock time only (the determinism contract in
+// docs/ARCHITECTURE.md).
 package experiments
 
 import (

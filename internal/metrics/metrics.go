@@ -1,7 +1,17 @@
-// Package metrics aggregates per-request simulator measurements into the
-// quantities the paper's figures plot (§6 "Metrics": effective bandwidth,
-// average response time, average tape switch / data seek / data transfer
-// time) and renders aligned text tables and CSV for the bench harness.
+// Package metrics aggregates simulator measurements into reportable
+// quantities, at two granularities:
+//
+//   - Session statistics (Summarize, AggregateSession): the paper's §6
+//     figures — effective bandwidth, average response time, and the tape
+//     switch / data seek / data transfer decomposition — with percentile
+//     summaries and confidence intervals.
+//   - Per-component timelines (BuildTimeline): busy/idle utilization per
+//     drive, robot-arm occupancy and queue-depth series per library,
+//     reduced from a recorded event trace (internal/trace) and rendered
+//     in the run-report format documented in docs/OBSERVABILITY.md.
+//
+// Rendering helpers (Table, Histogram, BarChart) produce aligned text and
+// CSV for the CLIs and the bench harness.
 package metrics
 
 import (

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"paralleltape/internal/trace"
+)
+
+// timelineEvents is a hand-built trace: one request, two drives in
+// library 0 (drive 0 serves from a mounted tape, drive 1 switches first),
+// with robot contention samples.
+func timelineEvents() []trace.Event {
+	return []trace.Event{
+		{T: 0, Kind: trace.KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: 0, Bytes: 300},
+		{T: 0, Kind: trace.KindSeek, Lib: 0, Drive: 0, Tape: 0, Req: 0, Dur: 1},
+		{T: 0, Kind: trace.KindTransfer, Lib: 0, Drive: 0, Tape: 0, Req: 0, Bytes: 100, Dur: 10},
+		{T: 0, Kind: trace.KindResourceWait, Lib: -1, Drive: -1, Tape: -1, Req: -1, Queue: 1, Name: "robot-0"},
+		{T: 0, Kind: trace.KindResourceGrant, Lib: -1, Drive: -1, Tape: -1, Req: -1, Name: "robot-0"},
+		{T: 0, Kind: trace.KindRobot, Lib: 0, Drive: 1, Tape: 3, Req: 0, Dur: 2},
+		{T: 2, Kind: trace.KindResourceRelease, Lib: -1, Drive: -1, Tape: -1, Req: -1, Dur: 2, Name: "robot-0"},
+		{T: 2, Kind: trace.KindResourceGrant, Lib: -1, Drive: -1, Tape: -1, Req: -1, Dur: 2, Queue: 0, Name: "robot-0"},
+		{T: 5, Kind: trace.KindMounted, Lib: 0, Drive: 1, Tape: 3, Req: 0, Dur: 5},
+		{T: 5, Kind: trace.KindSeek, Lib: 0, Drive: 1, Tape: 3, Req: 0, Dur: 0.5},
+		{T: 5, Kind: trace.KindTransfer, Lib: 0, Drive: 1, Tape: 3, Req: 0, Bytes: 200, Dur: 20},
+		{T: 11, Kind: trace.KindServeEnd, Lib: 0, Drive: 0, Tape: 0, Req: 0, Bytes: 100, Dur: 11},
+		{T: 25.5, Kind: trace.KindServeEnd, Lib: 0, Drive: 1, Tape: 3, Req: 0, Bytes: 200, Dur: 20.5},
+		{T: 25.5, Kind: trace.KindComplete, Lib: -1, Drive: -1, Tape: -1, Req: 0, Bytes: 300, Dur: 25.5},
+	}
+}
+
+func TestBuildTimeline(t *testing.T) {
+	tl := BuildTimeline(timelineEvents())
+	if tl.Requests != 1 || tl.Switches != 1 {
+		t.Errorf("requests=%d switches=%d", tl.Requests, tl.Switches)
+	}
+	if tl.Horizon != 25.5 {
+		t.Errorf("horizon = %g", tl.Horizon)
+	}
+	if tl.TotalSeek != 1.5 || tl.TotalTransfer != 30 || tl.TotalSwitch != 5 {
+		t.Errorf("components: seek=%g transfer=%g switch=%g", tl.TotalSeek, tl.TotalTransfer, tl.TotalSwitch)
+	}
+	if len(tl.Drives) != 2 {
+		t.Fatalf("drives = %d", len(tl.Drives))
+	}
+	d0, d1 := tl.Drives[0], tl.Drives[1]
+	if d0.Drive != 0 || d0.Services != 1 || d0.ServeSeconds != 11 || d0.SwitchSeconds != 0 {
+		t.Errorf("drive 0: %+v", d0)
+	}
+	if d0.IdleSeconds != 25.5-11 {
+		t.Errorf("drive 0 idle = %g", d0.IdleSeconds)
+	}
+	if d1.Mounts != 1 || d1.SwitchSeconds != 5 || d1.ServeSeconds != 20.5 || d1.BytesMoved != 200 {
+		t.Errorf("drive 1: %+v", d1)
+	}
+	if u := d1.Utilization(tl.Horizon); u <= 0.99 || u > 1 {
+		t.Errorf("drive 1 utilization = %g", u)
+	}
+	if len(tl.Robots) != 1 {
+		t.Fatalf("robots = %d", len(tl.Robots))
+	}
+	r := tl.Robots[0]
+	if r.Library != 0 || r.Grants != 2 || r.MoveSeconds != 2 || r.HoldSeconds != 2 || r.WaitSeconds != 2 || r.MaxQueue != 1 {
+		t.Errorf("robot: %+v", r)
+	}
+	if len(tl.Queues) != 1 || tl.Queues[0].Name != "robot-0" || len(tl.Queues[0].Samples) != 4 {
+		t.Errorf("queues: %+v", tl.Queues)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tl := BuildTimeline(timelineEvents())
+	var txt bytes.Buffer
+	if err := tl.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"run: 1 requests", "components:", "L0.D0", "L0.D1", "per-robot timeline", "queue robot-0"} {
+		if !strings.Contains(txt.String(), frag) {
+			t.Errorf("text report missing %q:\n%s", frag, txt.String())
+		}
+	}
+	var csv bytes.Buffer
+	if err := tl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"section,key,value", "run,requests,1", "component,seek_s,1.5", "drive,0,1,", "robot,0,2,2,2,2,1", "queue,robot-0,0,1"} {
+		if !strings.Contains(csv.String(), frag) {
+			t.Errorf("csv report missing %q:\n%s", frag, csv.String())
+		}
+	}
+	// The CSV is byte-deterministic.
+	var csv2 bytes.Buffer
+	if err := tl.WriteCSV(&csv2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv.Bytes(), csv2.Bytes()) {
+		t.Error("CSV report not deterministic")
+	}
+}
+
+func TestBuildTimelineEmpty(t *testing.T) {
+	tl := BuildTimeline(nil)
+	if tl.Requests != 0 || len(tl.Drives) != 0 || len(tl.Robots) != 0 {
+		t.Errorf("empty timeline: %+v", tl)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

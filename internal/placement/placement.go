@@ -12,6 +12,8 @@
 //   - RoundRobin — an extension baseline that stripes objects across all
 //     tapes with no popularity or relationship awareness, isolating the
 //     value of the paper's heuristics.
+//   - Online — the §7 future-work variant: requests arrive in epochs and
+//     each epoch is placed with only the knowledge accumulated so far.
 //
 // Every scheme consumes a model.Workload plus a tape.Hardware and produces
 // a Result: a fully indexed catalog plus the mount policy (which tapes the

@@ -20,6 +20,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"paralleltape/internal/trace"
 )
 
 // Time is a simulated instant in seconds from the start of the run.
@@ -60,6 +62,7 @@ type Engine struct {
 	seq     uint64
 	stepped uint64 // events executed, for diagnostics and runaway guards
 	limit   uint64 // optional max events (0 = unlimited)
+	rec     trace.Recorder
 }
 
 // NewEngine returns an Engine starting at time 0.
@@ -74,6 +77,17 @@ func (e *Engine) Steps() uint64 { return e.stepped }
 // SetEventLimit installs a safety cap on the number of events Run will
 // execute; Run panics when it is exceeded. Zero disables the cap.
 func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// SetRecorder attaches a trace recorder. Components built on the engine
+// (Resource, Latch) emit contention events through it; nil (the default)
+// disables tracing with zero hot-path cost — every emit site nil-checks
+// before constructing an event. The Engine itself emits no per-step
+// events: with tens of thousands of callbacks per request, a per-step
+// record would dwarf the semantic trace (see docs/OBSERVABILITY.md).
+func (e *Engine) SetRecorder(r trace.Recorder) { e.rec = r }
+
+// Recorder returns the attached trace recorder, nil when tracing is off.
+func (e *Engine) Recorder() trace.Recorder { return e.rec }
 
 // Schedule runs fn after delay simulated seconds. A negative or NaN delay
 // panics: in this simulator a negative latency is always a modelling bug

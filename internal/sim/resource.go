@@ -1,5 +1,7 @@
 package sim
 
+import "paralleltape/internal/trace"
+
 // Resource is an exclusive, FIFO-queued simulated resource. The paper's
 // robot arm (one per tape library, serializing all mount/unmount traffic in
 // that library) maps directly onto it: each tape switch acquires the robot,
@@ -29,6 +31,19 @@ type Grant struct {
 	released bool
 }
 
+// emit records a contention event when the engine has a trace recorder.
+// The guard keeps the disabled path allocation-free.
+func (r *Resource) emit(kind trace.Kind, dur float64, queue int) {
+	rec := r.eng.rec
+	if rec == nil {
+		return
+	}
+	rec.Record(trace.Event{
+		T: r.eng.now, Kind: kind, Lib: -1, Drive: -1, Tape: -1, Req: -1,
+		Dur: dur, Queue: queue, Name: r.name,
+	})
+}
+
 // NewResource creates a named resource attached to an engine.
 func NewResource(eng *Engine, name string) *Resource {
 	if eng == nil {
@@ -49,6 +64,7 @@ func (r *Resource) Acquire(fn func(g *Grant)) {
 	requested := r.eng.Now()
 	wrapped := func(g *Grant) {
 		r.waitTotal += r.eng.Now() - requested
+		r.emit(trace.KindResourceGrant, r.eng.Now()-requested, len(r.queue))
 		fn(g)
 	}
 	if !r.busy {
@@ -62,6 +78,7 @@ func (r *Resource) Acquire(fn func(g *Grant)) {
 	if len(r.queue) > r.maxQueue {
 		r.maxQueue = len(r.queue)
 	}
+	r.emit(trace.KindResourceWait, 0, len(r.queue))
 }
 
 // Release ends the grant and hands the resource to the next waiter, if any.
@@ -73,7 +90,10 @@ func (g *Grant) Release() {
 	}
 	g.released = true
 	r := g.r
+	// busySince is the grant instant of the current holder, so the hold
+	// time of this ownership period is now − busySince.
 	r.busyTotal += r.eng.Now() - r.busySince
+	r.emit(trace.KindResourceRelease, r.eng.Now()-r.busySince, len(r.queue))
 	if len(r.queue) == 0 {
 		r.busy = false
 		return
@@ -120,6 +140,8 @@ type Latch struct {
 	remaining int
 	fired     bool
 	onZero    func()
+	eng       *Engine // optional, for trace emission only
+	name      string
 }
 
 // NewLatch returns a latch expecting count completions. count 0 fires
@@ -129,6 +151,15 @@ func NewLatch(count int) *Latch {
 		panic("sim: NewLatch with negative count")
 	}
 	return &Latch{remaining: count}
+}
+
+// Observe names the latch and attaches it to an engine so its completion
+// emits a trace event (kind "latch-open") through the engine's recorder.
+// Without Observe — or with tracing disabled — the latch stays silent.
+func (l *Latch) Observe(eng *Engine, name string) *Latch {
+	l.eng = eng
+	l.name = name
+	return l
 }
 
 // Add increases the expected completion count. It panics if the latch
@@ -171,6 +202,12 @@ func (l *Latch) Remaining() int { return l.remaining }
 func (l *Latch) maybeFire() {
 	if l.remaining == 0 && l.onZero != nil && !l.fired {
 		l.fired = true
+		if l.eng != nil && l.eng.rec != nil {
+			l.eng.rec.Record(trace.Event{
+				T: l.eng.now, Kind: trace.KindLatchOpen,
+				Lib: -1, Drive: -1, Tape: -1, Req: -1, Name: l.name,
+			})
+		}
 		l.onZero()
 	}
 }

@@ -1,0 +1,119 @@
+package tapesys
+
+// Golden-file and determinism tests for the exported trace schema: a tiny
+// two-library run must produce a byte-stable JSONL trace under a fixed
+// configuration, and two identical runs must emit identical bytes. The
+// golden file pins the schema documented in docs/OBSERVABILITY.md —
+// regenerate it with UPDATE_GOLDEN=1 go test ./internal/tapesys -run
+// Golden, and update the document when it changes.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paralleltape/internal/tape"
+	"paralleltape/internal/trace"
+)
+
+// goldenRun executes the fixed two-library scenario and returns its JSONL
+// trace bytes. The three requests exercise every event kind: a mounted
+// service, switches onto empty and occupied drives (rewind), multi-drive
+// parallel service across libraries, robot contention (request 2 forces
+// both library-0 drives to switch at once, so one queues on the robot),
+// and a drive failure.
+func goldenRun(t *testing.T) []byte {
+	t.Helper()
+	hw := testHW()
+	pl := manualPlacement(t, hw, 5,
+		map[tape.Key][]objSpec{
+			{Library: 0, Index: 0}: {{0, 100}},
+			{Library: 0, Index: 1}: {{4, 80}},
+			{Library: 0, Index: 3}: {{1, 200}},
+			{Library: 0, Index: 4}: {{2, 150}},
+			{Library: 1, Index: 1}: {{3, 120}},
+		},
+		[][]int{{0, -1}, {-1, -1}}, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := s.EnableTrace(0)
+	if _, err := s.Submit(req(0, 0, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(req(1, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Tapes 0 and 1 are both offline now; retrieving them makes both
+	// library-0 drives switch concurrently and contend for the robot.
+	if _, err := s.Submit(req(2, 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDrive(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := trace.WriteJSONL(&out, buf.Events); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestGoldenTraceJSONL(t *testing.T) {
+	got := goldenRun(t)
+	golden := filepath.Join("testdata", "trace_golden.jsonl")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden trace updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace differs from golden file — the exported schema changed.\n"+
+			"If intentional, regenerate with UPDATE_GOLDEN=1 and update docs/OBSERVABILITY.md.\ngot:\n%s\nwant:\n%s",
+			got, want)
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	a := goldenRun(t)
+	b := goldenRun(t)
+	if !bytes.Equal(a, b) {
+		t.Error("two identical-seed runs emitted different traces")
+	}
+}
+
+func TestTraceCSVDeterminism(t *testing.T) {
+	hw := testHW()
+	pl := manualPlacement(t, hw, 1,
+		map[tape.Key][]objSpec{{Library: 0, Index: 3}: {{0, 100}}},
+		nil, nil, nil)
+	s, err := New(hw, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := s.EnableTrace(0)
+	if _, err := s.Submit(req(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var c1, c2 bytes.Buffer
+	if err := trace.WriteCSV(&c1, buf.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(&c2, buf.Events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Error("CSV export not deterministic")
+	}
+	if !bytes.HasPrefix(c1.Bytes(), []byte("t,kind,lib,drive,tape,req,bytes,dur,queue,name\n")) {
+		t.Errorf("CSV header wrong: %.80s", c1.Bytes())
+	}
+}

@@ -6,114 +6,44 @@ import (
 	"sort"
 
 	"paralleltape/internal/sim"
+	"paralleltape/internal/trace"
 )
 
-// EventKind labels one simulator event in a recorded trace.
-type EventKind int
+// Tracing plumbing: the System emits typed trace events (schema in
+// internal/trace, documented in docs/OBSERVABILITY.md) through an
+// attached Recorder. The same recorder is installed on the simulation
+// engine, so sim-level contention events (robot queue waits, grants,
+// releases, latch completions) interleave with the tape-system spans in
+// one time-ordered stream.
 
-const (
-	// EvSubmit marks a request submission.
-	EvSubmit EventKind = iota
-	// EvServeStart marks a drive beginning to seek+read a tape group.
-	EvServeStart
-	// EvServeEnd marks a drive finishing a tape group.
-	EvServeEnd
-	// EvRewindStart marks the beginning of a switch's rewind+unload phase.
-	EvRewindStart
-	// EvRobotStart marks the robot beginning the stow+fetch moves.
-	EvRobotStart
-	// EvLoadStart marks the drive loading/threading the incoming tape.
-	EvLoadStart
-	// EvMounted marks the incoming tape ready at BOT.
-	EvMounted
-	// EvComplete marks request completion.
-	EvComplete
-	// EvDriveFailed marks a drive taken out of service.
-	EvDriveFailed
-)
-
-func (k EventKind) String() string {
-	switch k {
-	case EvSubmit:
-		return "submit"
-	case EvServeStart:
-		return "serve-start"
-	case EvServeEnd:
-		return "serve-end"
-	case EvRewindStart:
-		return "rewind"
-	case EvRobotStart:
-		return "robot"
-	case EvLoadStart:
-		return "load"
-	case EvMounted:
-		return "mounted"
-	case EvComplete:
-		return "complete"
-	case EvDriveFailed:
-		return "drive-failed"
-	default:
-		return fmt.Sprintf("EventKind(%d)", int(k))
-	}
+// SetRecorder attaches a trace recorder to the system and its engine; nil
+// disables tracing. With no recorder attached the simulation hot path
+// performs no tracing work at all.
+func (s *System) SetRecorder(r trace.Recorder) {
+	s.rec = r
+	s.eng.SetRecorder(r)
 }
 
-// Event is one recorded simulator event.
-type Event struct {
-	Time    float64
-	Kind    EventKind
-	Library int
-	Drive   int // -1 when not drive-scoped
-	Tape    int // library-local tape index, -1 when not tape-scoped
-	Request int32
-	Bytes   int64
-}
-
-// Trace records simulator events when enabled via System.EnableTrace.
-type Trace struct {
-	Events []Event
-	limit  int
-}
-
-// EnableTrace starts recording events (keeping at most limit events;
-// limit <= 0 means unbounded). It returns the live trace.
-func (s *System) EnableTrace(limit int) *Trace {
-	s.trace = &Trace{limit: limit}
-	return s.trace
+// EnableTrace starts in-memory event recording (keeping at most limit
+// events; limit <= 0 means unbounded) and returns the live buffer.
+func (s *System) EnableTrace(limit int) *trace.Buffer {
+	b := trace.NewBuffer(limit)
+	s.SetRecorder(b)
+	return b
 }
 
 // DisableTrace stops recording.
-func (s *System) DisableTrace() { s.trace = nil }
+func (s *System) DisableTrace() { s.SetRecorder(nil) }
 
-func (s *System) emit(ev Event) {
-	t := s.trace
-	if t == nil {
+// emit stamps the event with the current simulated time and records it.
+// The nil check keeps the disabled path free of any tracing cost beyond
+// building the argument (a stack value — no allocation either way).
+func (s *System) emit(ev trace.Event) {
+	if s.rec == nil {
 		return
 	}
-	if t.limit > 0 && len(t.Events) >= t.limit {
-		return
-	}
-	ev.Time = s.eng.Now()
-	t.Events = append(t.Events, ev)
-}
-
-// WriteText renders the trace as one line per event.
-func (t *Trace) WriteText(w io.Writer) error {
-	for _, ev := range t.Events {
-		var loc string
-		switch {
-		case ev.Drive >= 0 && ev.Tape >= 0:
-			loc = fmt.Sprintf("L%d.D%d (tape %d)", ev.Library, ev.Drive, ev.Tape)
-		case ev.Drive >= 0:
-			loc = fmt.Sprintf("L%d.D%d", ev.Library, ev.Drive)
-		default:
-			loc = "-"
-		}
-		if _, err := fmt.Fprintf(w, "%10.2fs  %-12s req=%-4d %-18s bytes=%d\n",
-			ev.Time, ev.Kind, ev.Request, loc, ev.Bytes); err != nil {
-			return err
-		}
-	}
-	return nil
+	ev.T = s.eng.Now()
+	s.rec.Record(ev)
 }
 
 // DriveStats summarizes one drive's lifetime activity.
@@ -239,7 +169,7 @@ func (s *System) FailDrive(library, drive int) error {
 		d.mounted = -1
 		d.headPos = 0
 	}
-	s.emit(Event{Kind: EvDriveFailed, Library: library, Drive: drive, Tape: -1, Request: -1})
+	s.emit(trace.Event{Kind: trace.KindDriveFailed, Lib: library, Drive: drive, Tape: -1, Req: -1})
 	return nil
 }
 

@@ -21,6 +21,20 @@
 // Victim selection among switchable drives uses the least-popular
 // replacement policy of [11]: the eligible drive holding the least
 // accumulated probability switches first.
+//
+// # Observability
+//
+// The simulator is fully instrumented: attach a trace.Recorder with
+// System.SetRecorder (or EnableTrace for an in-memory buffer) and every
+// stage of every request — submission, per-drive seek/transfer spans, the
+// rewind → robot → load → mounted switch pipeline, robot queue
+// contention, and completion — is emitted as a typed event with library,
+// drive, tape, and request IDs. The schema is defined in internal/trace
+// and documented in docs/OBSERVABILITY.md; per-component timelines and
+// run reports are built from the stream by internal/metrics. With no
+// recorder attached tracing costs nothing on the hot path. Aggregate
+// per-drive and per-robot accounting (DriveReport, RobotReport,
+// WriteUtilization) is always on, trace or not.
 package tapesys
 
 import (
@@ -32,6 +46,7 @@ import (
 	"paralleltape/internal/placement"
 	"paralleltape/internal/sim"
 	"paralleltape/internal/tape"
+	"paralleltape/internal/trace"
 )
 
 // drive is the persistent state of one tape drive.
@@ -62,13 +77,13 @@ type library struct {
 // System is a simulated parallel tape storage system. Create with New or
 // NewWithOptions, then Submit requests; state persists across submissions.
 type System struct {
-	hw    tape.Hardware
-	cat   *catalog.Catalog
-	prob  map[tape.Key]float64
-	eng   *sim.Engine
-	libs  []*library
-	opts  Options
-	trace *Trace
+	hw   tape.Hardware
+	cat  *catalog.Catalog
+	prob map[tape.Key]float64
+	eng  *sim.Engine
+	libs []*library
+	opts Options
+	rec  trace.Recorder
 
 	totalSwitches int
 	totalBytes    int64
@@ -172,7 +187,7 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	}
 	t0 := s.eng.Now()
 	met := RequestMetrics{Request: r.ID, TapesTouched: len(groups)}
-	s.emit(Event{Kind: EvSubmit, Drive: -1, Tape: -1, Request: int32(r.ID), Bytes: 0})
+	s.emit(trace.Event{Kind: trace.KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: int64(r.ID)})
 
 	acct := make(map[*drive]*driveAcct)
 	acctOf := func(d *drive) *driveAcct {
@@ -185,7 +200,7 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	}
 	robotWait0 := s.robotWaitTotal()
 
-	latch := sim.NewLatch(len(groups))
+	latch := sim.NewLatch(len(groups)).Observe(s.eng, "request")
 
 	// Per-library pending queues of offline tape groups, largest first so
 	// long transfers start earliest (LPT ordering keeps the makespan low).
@@ -243,8 +258,14 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	serve = func(d *drive, g catalog.TapeGroup) {
 		plan := tape.PlanReads(s.hw, d.headPos, g.Extents)
 		a := acctOf(d)
-		s.emit(Event{Kind: EvServeStart, Library: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-			Request: int32(r.ID), Bytes: g.Bytes})
+		if s.rec != nil {
+			s.emit(trace.Event{Kind: trace.KindServeStart, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+				Req: int64(r.ID), Bytes: g.Bytes})
+			s.emit(trace.Event{Kind: trace.KindSeek, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+				Req: int64(r.ID), Dur: plan.SeekTotal})
+			s.emit(trace.Event{Kind: trace.KindTransfer, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+				Req: int64(r.ID), Bytes: g.Bytes, Dur: plan.XferTotal})
+		}
 		s.eng.Schedule(plan.SeekTotal+plan.XferTotal, func() {
 			d.headPos = plan.EndPos
 			a.seek += plan.SeekTotal
@@ -254,8 +275,8 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 			s.totalBusy += plan.SeekTotal + plan.XferTotal
 			d.busySeconds += plan.SeekTotal + plan.XferTotal
 			d.bytesMoved += g.Bytes
-			s.emit(Event{Kind: EvServeEnd, Library: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-				Request: int32(r.ID), Bytes: g.Bytes})
+			s.emit(trace.Event{Kind: trace.KindServeEnd, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+				Req: int64(r.ID), Bytes: g.Bytes, Dur: plan.SeekTotal + plan.XferTotal})
 			latch.Done()
 			afterService(d)
 		})
@@ -269,8 +290,8 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 		prep := 0.0
 		if d.mounted >= 0 {
 			prep = s.hw.RewindTime(d.headPos) + s.hw.Unload
-			s.emit(Event{Kind: EvRewindStart, Library: d.lib, Drive: d.idx, Tape: d.mounted,
-				Request: int32(r.ID)})
+			s.emit(trace.Event{Kind: trace.KindRewind, Lib: d.lib, Drive: d.idx, Tape: d.mounted,
+				Req: int64(r.ID), Dur: prep})
 		}
 		s.eng.Schedule(prep, func() {
 			// The outgoing cartridge has left the drive.
@@ -280,24 +301,24 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 				d.mounted = -1
 			}
 			l.robot.Acquire(func(grant *sim.Grant) {
-				s.emit(Event{Kind: EvRobotStart, Library: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-					Request: int32(r.ID)})
 				move := s.hw.CellToDrive // fetch the target cartridge
 				if hadTape {
 					move += s.hw.CellToDrive // first stow the old one
 				}
+				s.emit(trace.Event{Kind: trace.KindRobot, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+					Req: int64(r.ID), Dur: move})
 				s.eng.Schedule(move, func() {
 					grant.Release()
-					s.emit(Event{Kind: EvLoadStart, Library: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-						Request: int32(r.ID)})
+					s.emit(trace.Event{Kind: trace.KindLoad, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+						Req: int64(r.ID), Dur: s.hw.LoadThread})
 					s.eng.Schedule(s.hw.LoadThread, func() {
 						d.mounted = g.Tape.Index
 						d.headPos = 0
 						d.mounts++
 						d.switchSeconds += s.eng.Now() - switchBegin
 						l.byTape[g.Tape.Index] = d
-						s.emit(Event{Kind: EvMounted, Library: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-							Request: int32(r.ID)})
+						s.emit(trace.Event{Kind: trace.KindMounted, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+							Req: int64(r.ID), Dur: s.eng.Now() - switchBegin})
 						serve(d, g)
 					})
 				})
@@ -367,8 +388,9 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	}
 
 	// §6 metrics: response from the last-finishing drive.
-	s.emit(Event{Kind: EvComplete, Drive: -1, Tape: -1, Request: int32(r.ID), Bytes: met.Bytes})
 	met.Response = s.eng.Now() - t0
+	s.emit(trace.Event{Kind: trace.KindComplete, Lib: -1, Drive: -1, Tape: -1,
+		Req: int64(r.ID), Bytes: met.Bytes, Dur: met.Response})
 	var last *driveAcct
 	for _, a := range acct {
 		met.SumSeek += a.seek

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"paralleltape/internal/tape"
+	"paralleltape/internal/trace"
 )
 
 func TestTraceRecordsLifecycle(t *testing.T) {
@@ -24,31 +25,39 @@ func TestTraceRecordsLifecycle(t *testing.T) {
 	if _, err := s.Submit(req(0, 0, 1)); err != nil {
 		t.Fatal(err)
 	}
-	kinds := map[EventKind]int{}
-	for _, ev := range tr.Events {
-		kinds[ev.Kind]++
-	}
-	if kinds[EvSubmit] != 1 || kinds[EvComplete] != 1 {
+	kinds := trace.CountByKind(tr.Events)
+	if kinds[trace.KindSubmit] != 1 || kinds[trace.KindComplete] != 1 {
 		t.Errorf("submit/complete counts: %v", kinds)
 	}
-	if kinds[EvServeStart] != 2 || kinds[EvServeEnd] != 2 {
+	if kinds[trace.KindServeStart] != 2 || kinds[trace.KindServeEnd] != 2 {
 		t.Errorf("serve counts: %v", kinds)
 	}
+	if kinds[trace.KindSeek] != 2 || kinds[trace.KindTransfer] != 2 {
+		t.Errorf("seek/transfer span counts: %v", kinds)
+	}
 	// One switch (empty drive): robot + load + mounted, no rewind.
-	if kinds[EvRobotStart] != 1 || kinds[EvLoadStart] != 1 || kinds[EvMounted] != 1 {
+	if kinds[trace.KindRobot] != 1 || kinds[trace.KindLoad] != 1 || kinds[trace.KindMounted] != 1 {
 		t.Errorf("switch pipeline counts: %v", kinds)
 	}
-	if kinds[EvRewindStart] != 0 {
+	if kinds[trace.KindRewind] != 0 {
 		t.Errorf("unexpected rewind events: %v", kinds)
+	}
+	// Sim-level contention events interleave: one robot grant + release,
+	// and the request latch opened once.
+	if kinds[trace.KindResourceGrant] != 1 || kinds[trace.KindResourceRelease] != 1 {
+		t.Errorf("resource event counts: %v", kinds)
+	}
+	if kinds[trace.KindLatchOpen] != 1 {
+		t.Errorf("latch event counts: %v", kinds)
 	}
 	// Events are time-ordered.
 	for i := 1; i < len(tr.Events); i++ {
-		if tr.Events[i].Time < tr.Events[i-1].Time {
+		if tr.Events[i].T < tr.Events[i-1].T {
 			t.Fatal("trace not time-ordered")
 		}
 	}
 	var buf bytes.Buffer
-	if err := tr.WriteText(&buf); err != nil {
+	if err := trace.WriteText(&buf, tr.Events); err != nil {
 		t.Fatal(err)
 	}
 	for _, frag := range []string{"submit", "serve-start", "mounted", "complete"} {
@@ -83,16 +92,6 @@ func TestTraceLimitAndDisable(t *testing.T) {
 	}
 }
 
-func TestEventKindStrings(t *testing.T) {
-	for k := EvSubmit; k <= EvDriveFailed; k++ {
-		if strings.HasPrefix(k.String(), "EventKind(") {
-			t.Errorf("kind %d has no name", int(k))
-		}
-	}
-	if !strings.HasPrefix(EventKind(99).String(), "EventKind(") {
-		t.Error("unknown kind not flagged")
-	}
-}
 
 func TestDriveReportAccounting(t *testing.T) {
 	hw := testHW()

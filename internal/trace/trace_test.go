@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{T: 0, Kind: KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: 7, Bytes: 300},
+		{T: 1.5, Kind: KindSeek, Lib: 0, Drive: 1, Tape: 3, Req: 7, Dur: 2.25},
+		{T: 3.75, Kind: KindResourceWait, Lib: -1, Drive: -1, Tape: -1, Req: -1, Queue: 2, Name: "robot-0"},
+		{T: 9, Kind: KindComplete, Lib: -1, Drive: -1, Tape: -1, Req: 7, Bytes: 300, Dur: 9},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// Every line is valid JSON with the documented keys.
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if first["kind"] != "submit" || first["req"] != float64(7) || first["bytes"] != float64(300) {
+		t.Errorf("line 0 fields: %v", first)
+	}
+	if _, has := first["lib"]; has {
+		t.Error("lib=-1 should be omitted")
+	}
+	var wait map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &wait); err != nil {
+		t.Fatal(err)
+	}
+	if wait["name"] != "robot-0" || wait["queue"] != float64(2) {
+		t.Errorf("wait fields: %v", wait)
+	}
+	if _, has := wait["req"]; has {
+		t.Error("req=-1 should be omitted")
+	}
+}
+
+func TestJSONLDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("JSONL output not byte-stable")
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want header + 4", len(lines))
+	}
+	if lines[0] != strings.Join(CSVColumns, ",") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for i, line := range lines {
+		if got := strings.Count(line, ","); got != len(CSVColumns)-1 {
+			t.Errorf("line %d has %d commas: %q", i, got, line)
+		}
+	}
+	if lines[1] != "0,submit,,,,7,300,,," {
+		t.Errorf("submit row = %q", lines[1])
+	}
+	if lines[3] != "3.75,resource-wait,,,,,,,2,robot-0" {
+		t.Errorf("wait row = %q", lines[3])
+	}
+}
+
+func TestBufferLimit(t *testing.T) {
+	b := NewBuffer(2)
+	for _, ev := range sampleEvents() {
+		b.Record(ev)
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("Len after Reset = %d", b.Len())
+	}
+	b.Record(Event{Kind: KindSubmit})
+	if b.Len() != 1 {
+		t.Errorf("Len after re-record = %d", b.Len())
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := NewBuffer(0), NewBuffer(0)
+	tee := Tee{a, b}
+	for _, ev := range sampleEvents() {
+		tee.Record(ev)
+	}
+	if a.Len() != 4 || b.Len() != 4 {
+		t.Errorf("tee lengths: %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	m := CountByKind(sampleEvents())
+	if m[KindSubmit] != 1 || m[KindSeek] != 1 || m[KindComplete] != 1 {
+		t.Errorf("counts: %v", m)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"submit", "seek", "L0.D1 (tape 3)", "robot-0", "queue=2", "dur=2.25s"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("text missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"paralleltape/internal/rng"
 	"paralleltape/internal/tape"
 	"paralleltape/internal/tapesys"
+	"paralleltape/internal/trace"
 	"paralleltape/internal/units"
 	"paralleltape/internal/workload"
 )
@@ -89,7 +90,20 @@ type (
 	AnalyticModel = analytic.Model
 	// AnalyticEstimate is one analytic response decomposition.
 	AnalyticEstimate = analytic.Estimate
+	// TraceEvent is one structured simulator event (docs/OBSERVABILITY.md).
+	TraceEvent = trace.Event
+	// TraceRecorder receives simulator events; attach with System.SetRecorder.
+	TraceRecorder = trace.Recorder
+	// TraceBuffer is an in-memory event recorder (System.EnableTrace).
+	TraceBuffer = trace.Buffer
+	// Timeline is the per-component aggregation of a recorded trace.
+	Timeline = metrics.Timeline
 )
+
+// BuildTimeline reduces a recorded trace to per-component timelines
+// (per-drive busy/idle, per-robot occupancy and queueing); see
+// docs/OBSERVABILITY.md for the report format.
+func BuildTimeline(events []TraceEvent) *Timeline { return metrics.BuildTimeline(events) }
 
 // Placement scheme constructors.
 
