@@ -1,0 +1,220 @@
+package main
+
+// The -json flag emits a benchmark-result document so runs can be diffed
+// across commits (the repo keeps baselines as BENCH_NNNN.json). The layout
+// is versioned by the schema string below and documented in
+// docs/OBSERVABILITY.md; adding fields is allowed, renaming or removing
+// them requires a new schema version.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"paralleltape"
+)
+
+// benchResultSchema versions the -json document layout.
+const benchResultSchema = "tapebench/bench-result/v1"
+
+// benchResult is the top-level -json document: environment identity,
+// experiment configuration, harness micro-benchmarks, and the domain
+// metric (effective bandwidth per scheme) for regression tracking.
+type benchResult struct {
+	Schema      string  `json:"schema"`
+	GoVersion   string  `json:"go_version"`
+	Commit      string  `json:"commit"`
+	Experiment  string  `json:"experiment"`
+	Quick       bool    `json:"quick"`
+	Seed        uint64  `json:"seed"`
+	Requests    int     `json:"requests"`
+	Scale       float64 `json:"scale"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Benchmarks holds testing.Benchmark measurements of the simulator
+	// hot paths at the configured scale.
+	Benchmarks []benchMeasurement `json:"benchmarks"`
+	// BandwidthMBpsByScheme is each scheme's mean effective bandwidth
+	// over every exhibit row it appears in — the paper's headline metric.
+	BandwidthMBpsByScheme map[string]float64 `json:"bandwidth_mbps_by_scheme"`
+	// Exhibits embeds each regenerated report in its WriteJSON form.
+	Exhibits []json.RawMessage `json:"exhibits"`
+}
+
+// benchMeasurement is one testing.Benchmark result.
+type benchMeasurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// detectCommit identifies the source revision: the TAPEBENCH_COMMIT
+// environment variable wins (set by scripts that know the hash), then the
+// vcs.revision stamped into the binary by `go build`, then "unknown"
+// (e.g. `go run` of a dirty tree).
+func detectCommit() string {
+	if c := os.Getenv("TAPEBENCH_COMMIT"); c != "" {
+		return c
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// writeBenchResult measures the micro-benchmarks and writes the full
+// bench-result document. wall is the exhibit-regeneration wall time; the
+// micro-benchmarks run here, after it is measured, so they do not inflate
+// it.
+func writeBenchResult(w io.Writer, experiment string, cfg paralleltape.ExperimentConfig,
+	quick bool, wall time.Duration, reps []*paralleltape.ExperimentReport) error {
+	res := benchResult{
+		Schema:                benchResultSchema,
+		GoVersion:             runtime.Version(),
+		Commit:                detectCommit(),
+		Experiment:            experiment,
+		Quick:                 quick,
+		Seed:                  cfg.Seed,
+		Requests:              cfg.Requests,
+		Scale:                 cfg.Scale,
+		WallSeconds:           wall.Seconds(),
+		BandwidthMBpsByScheme: map[string]float64{},
+	}
+	sum := map[string]float64{}
+	n := map[string]int{}
+	for _, rep := range reps {
+		for _, row := range rep.Rows {
+			if row.Err == nil && row.Scheme != "" {
+				sum[row.Scheme] += row.Stats.MeanBandwidth / 1e6
+				n[row.Scheme]++
+			}
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			return err
+		}
+		res.Exhibits = append(res.Exhibits, json.RawMessage(bytes.TrimSpace(buf.Bytes())))
+	}
+	for scheme := range sum {
+		res.BandwidthMBpsByScheme[scheme] = sum[scheme] / float64(n[scheme])
+	}
+	var err error
+	if res.Benchmarks, err = measureBenchmarks(cfg); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&res)
+}
+
+// measureBenchmarks runs the reference micro-benchmarks with
+// testing.Benchmark at the configured scale. The names are part of the
+// schema: simulate-request is the untraced Submit hot path (the
+// allocation-regression guard), simulate-request-traced adds an in-memory
+// trace buffer, placement-parallel-batch is raw placement cost.
+func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, error) {
+	w, err := paralleltape.GenerateWorkload(benchParams(cfg), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hw := cfg.HW
+	pl, err := paralleltape.Place(hw, paralleltape.NewParallelBatch(cfg.M), w)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := paralleltape.NewSystem(hw, pl)
+	if err != nil {
+		return nil, err
+	}
+	traced, err := paralleltape.NewSystem(hw, pl)
+	if err != nil {
+		return nil, err
+	}
+	tbuf := traced.EnableTrace(0)
+	reqs := w.Requests
+
+	var opErr error
+	submit := func(sys *paralleltape.System, buf *paralleltape.TraceBuffer) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Submit(&reqs[i%len(reqs)]); err != nil {
+					opErr = err
+					b.FailNow()
+				}
+				if buf != nil {
+					buf.Reset() // keep memory flat; recording cost still measured
+				}
+			}
+		}
+	}
+	place := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := paralleltape.Place(hw, paralleltape.NewParallelBatch(cfg.M), w); err != nil {
+				opErr = err
+				b.FailNow()
+			}
+		}
+	}
+
+	var out []benchMeasurement
+	for _, bench := range []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"simulate-request", submit(plain, nil)},
+		{"simulate-request-traced", submit(traced, tbuf)},
+		{"placement-parallel-batch", place},
+	} {
+		r := testing.Benchmark(bench.fn)
+		if opErr != nil {
+			return nil, opErr
+		}
+		out = append(out, benchMeasurement{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out, nil
+}
+
+// benchParams mirrors the root bench harness's scaled workload parameters
+// (bench_test.go) so -json measurements are comparable with
+// `go test -bench`: object population and request lengths scale, the
+// predefined request count stays at the paper's 300, and the object-size
+// tail is capped relative to the (possibly shrunken) cartridge.
+func benchParams(cfg paralleltape.ExperimentConfig) paralleltape.WorkloadParams {
+	p := paralleltape.DefaultWorkloadParams()
+	p.NumObjects = int(float64(p.NumObjects) * cfg.Scale)
+	if p.NumObjects < 200 {
+		p.NumObjects = 200
+	}
+	if cfg.Scale != 1 {
+		p.MinReqLen = int(float64(p.MinReqLen) * cfg.Scale)
+		if p.MinReqLen < 2 {
+			p.MinReqLen = 2
+		}
+		p.MaxReqLen = int(float64(p.MaxReqLen) * cfg.Scale)
+		if p.MaxReqLen < p.MinReqLen {
+			p.MaxReqLen = p.MinReqLen
+		}
+		if cap40 := cfg.HW.Capacity / 40; p.MaxObjSize > cap40 {
+			p.MaxObjSize = cap40
+		}
+	}
+	return p
+}

@@ -1,8 +1,10 @@
 // Command tapebench regenerates the paper's evaluation: Table 1 and
 // Figures 5–9, plus the technology-scaling and robustness studies and the
 // parallel-batch design ablation. Profiling hooks (-pprof, -cpuprofile,
-// -memprofile, -gostats) expose where harness time and memory go; see
-// docs/OBSERVABILITY.md.
+// -memprofile, -gostats) expose where harness time and memory go, live
+// telemetry flags (-metrics-addr, -progress) watch a sweep while it runs,
+// and -json writes a versioned benchmark-result document for
+// regression tracking; see docs/OBSERVABILITY.md.
 //
 // Examples:
 //
@@ -10,6 +12,8 @@
 //	tapebench -experiment fig6     # one exhibit
 //	tapebench -quick               # reduced scale (CI-sized)
 //	tapebench -experiment fig9 -csv -o fig9.csv
+//	tapebench -metrics-addr :9100 -progress 10s
+//	TAPEBENCH_COMMIT=$(git rev-parse HEAD) tapebench -quick -json BENCH.json
 //	tapebench -pprof :6060 -gostats
 package main
 
@@ -27,26 +31,57 @@ import (
 
 	"paralleltape"
 	pmetrics "paralleltape/internal/metrics"
+	"paralleltape/internal/telemetry"
 )
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
 			"which exhibit to regenerate: all, table1, fig5, fig6, fig7, fig8, fig9, tech, robustness, ablation, striping, online, scheduler, sensitivity")
-		quick    = flag.Bool("quick", false, "reduced-scale configuration (fast)")
-		seed     = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
-		requests = flag.Int("requests", 0, "override simulated requests per run (0 keeps the default)")
-		workers  = flag.Int("workers", 0, "parallel run workers (0 = GOMAXPROCS)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		chart    = flag.Bool("chart", false, "append a bandwidth bar chart to each exhibit")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
-		outPath  = flag.String("o", "", "write output to a file instead of stdout")
+		quick       = flag.Bool("quick", false, "reduced-scale configuration (fast)")
+		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+		requests    = flag.Int("requests", 0, "override simulated requests per run (0 keeps the default)")
+		workers     = flag.Int("workers", 0, "parallel run workers (0 = GOMAXPROCS)")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart       = flag.Bool("chart", false, "append a bandwidth bar chart to each exhibit")
+		jsonOut     = flag.String("json", "", "write a machine-readable benchmark-result document (schema tapebench/bench-result/v1) to this file (- for stdout)")
+		outPath     = flag.String("o", "", "write output to a file instead of stdout")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live telemetry on this address for the life of the sweep (Prometheus text at /metrics, expvar JSON at /debug/vars, net/http/pprof at /debug/pprof/)")
+		progress = flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 10s; 0 disables)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the life of the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		goStats  = flag.Bool("gostats", false, "print Go runtime metrics (GC, heap, scheduler) after the run")
 	)
 	flag.Parse()
+
+	// Create output files first so an unwritable path fails immediately,
+	// not after the sweep completes.
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tapebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	var jsonW io.Writer
+	if *jsonOut != "" {
+		if *jsonOut == "-" {
+			jsonW = os.Stdout
+		} else {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tapebench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			jsonW = f
+		}
+	}
 
 	if *pprofSrv != "" {
 		go func() {
@@ -82,20 +117,40 @@ func main() {
 	}
 	cfg.Workers = *workers
 
-	var out io.Writer = os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
+	// Live telemetry: one collector shared by every run in the sweep. The
+	// experiment runner raises the run/request targets and streams events
+	// into it; the server and progress line read concurrently.
+	if *metricsAddr != "" || *progress > 0 {
+		reg := telemetry.NewRegistry()
+		cfg.Telemetry = telemetry.NewCollector(reg)
+		if *metricsAddr != "" {
+			srv, err := telemetry.Serve(*metricsAddr, reg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tapebench:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "tapebench: telemetry on http://%s/metrics\n", srv.Addr())
+		}
+		if *progress > 0 {
+			prog := telemetry.StartProgress(telemetry.ProgressOptions{
+				Interval: *progress, Collector: cfg.Telemetry, Label: "tapebench",
+			})
+			defer prog.Stop()
+		}
+	}
+
+	start := time.Now()
+	reps, err := run(out, *experiment, cfg, *csv, *chart)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapebench:", err)
+		os.Exit(1)
+	}
+	if jsonW != nil {
+		if err := writeBenchResult(jsonW, *experiment, cfg, *quick, time.Since(start), reps); err != nil {
 			fmt.Fprintln(os.Stderr, "tapebench:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		out = f
-	}
-
-	if err := run(out, *experiment, cfg, *csv, *chart, *jsonOut); err != nil {
-		fmt.Fprintln(os.Stderr, "tapebench:", err)
-		os.Exit(1)
 	}
 	if *goStats {
 		if err := writeRuntimeStats(os.Stderr); err != nil {
@@ -187,13 +242,13 @@ func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
 	return h.Buckets[len(h.Buckets)-1]
 }
 
-func run(out io.Writer, experiment string, cfg paralleltape.ExperimentConfig, csv, chart, jsonOut bool) error {
+// run regenerates the selected exhibits, rendering each to out, and
+// returns the finished reports so the caller can derive the -json
+// benchmark-result document from them.
+func run(out io.Writer, experiment string, cfg paralleltape.ExperimentConfig, csv, chart bool) ([]*paralleltape.ExperimentReport, error) {
 	emit := func(rep *paralleltape.ExperimentReport) error {
 		if err := rep.Err(); err != nil {
 			return err
-		}
-		if jsonOut {
-			return rep.WriteJSON(out)
 		}
 		if csv {
 			return rep.Table.RenderCSV(out)
@@ -222,28 +277,31 @@ func run(out io.Writer, experiment string, cfg paralleltape.ExperimentConfig, cs
 	}
 
 	start := time.Now()
+	var reps []*paralleltape.ExperimentReport
 	if experiment == "all" {
-		reps, err := paralleltape.RunAllExperiments(cfg)
-		for _, rep := range reps {
+		all, err := paralleltape.RunAllExperiments(cfg)
+		for _, rep := range all {
 			if e := emit(rep); e != nil {
-				return e
+				return nil, e
 			}
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
+		reps = all
 	} else {
 		rep, err := paralleltape.RunExperiment(experiment, cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := emit(rep); err != nil {
-			return err
+			return nil, err
 		}
+		reps = []*paralleltape.ExperimentReport{rep}
 	}
-	if !csv && !jsonOut {
+	if !csv {
 		fmt.Fprintf(out, "completed in %s (seed %d, %d requests/run, scale %.2f)\n",
 			time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Requests, cfg.Scale)
 	}
-	return nil
+	return reps, nil
 }

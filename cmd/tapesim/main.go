@@ -2,8 +2,9 @@
 // generates (or loads) a workload, places it with a chosen scheme, submits
 // a stream of requests, and prints the paper's §6 metrics. Opt-in
 // observability flags export a structured event trace (-trace) and a
-// per-component run report (-report); both formats are documented in
-// docs/OBSERVABILITY.md.
+// per-component run report (-report), serve live telemetry while the run
+// executes (-metrics-addr), and print periodic progress (-progress); all
+// formats are documented in docs/OBSERVABILITY.md.
 //
 // Examples:
 //
@@ -11,6 +12,7 @@
 //	tapesim -scheme object-probability -alpha 0.7 -libraries 2
 //	tapesim -scheme cluster-probability -workload workload.json -csv
 //	tapesim -requests 50 -trace run.jsonl -report -
+//	tapesim -requests 2000 -metrics-addr :9100 -progress 5s
 package main
 
 import (
@@ -18,7 +20,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"paralleltape"
 	"paralleltape/internal/metrics"
@@ -26,6 +30,7 @@ import (
 	"paralleltape/internal/placement"
 	"paralleltape/internal/rng"
 	"paralleltape/internal/tapesys"
+	"paralleltape/internal/telemetry"
 	"paralleltape/internal/trace"
 	"paralleltape/internal/units"
 	"paralleltape/internal/workload"
@@ -33,29 +38,37 @@ import (
 
 // options bundles every tapesim flag; tests drive run() through it.
 type options struct {
-	scheme    string
-	m         int
-	epochs    int
-	requests  int
-	seed      uint64
-	alpha     float64
-	objects   int
-	nRequests int
-	libraries int
-	drives    int
-	tapes     int
-	capacity  string
-	rate      string
-	target    string
-	workload  string // JSON workload trace to load instead of generating
-	tracePath string // structured event trace export (.jsonl or .csv)
-	report    string // run report destination ("-" for stdout)
-	csv       bool
-	verbose   bool
-	util      bool
-	estimate  bool
-	describe  bool
-	events    int
+	scheme      string
+	m           int
+	epochs      int
+	requests    int
+	seed        uint64
+	alpha       float64
+	objects     int
+	nRequests   int
+	libraries   int
+	drives      int
+	tapes       int
+	capacity    string
+	rate        string
+	target      string
+	workload    string        // JSON workload trace to load instead of generating
+	tracePath   string        // structured event trace export (.jsonl or .csv)
+	report      string        // run report destination ("-" for stdout)
+	metricsAddr string        // live telemetry HTTP address ("" = off)
+	progress    time.Duration // progress line interval (0 = off)
+	csv         bool
+	verbose     bool
+	util        bool
+	estimate    bool
+	describe    bool
+	events      int
+
+	// Test hooks (not flags): notifyServe receives the bound telemetry
+	// address once the server is up; midRun fires once after half the
+	// requests have been submitted. Both are nil outside tests.
+	notifyServe func(addr string)
+	midRun      func()
 }
 
 func main() {
@@ -78,6 +91,8 @@ func main() {
 	flag.StringVar(&o.workload, "workload", "", "load workload from a JSON trace instead of generating")
 	flag.StringVar(&o.tracePath, "trace", "", "write the structured event trace to this file (JSONL; .csv extension switches to CSV)")
 	flag.StringVar(&o.report, "report", "", "write the per-component run report to this file (text; .csv extension switches to CSV; - for stdout)")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live telemetry on this address for the life of the run (Prometheus text at /metrics, expvar JSON at /debug/vars, net/http/pprof at /debug/pprof/)")
+	flag.DurationVar(&o.progress, "progress", 0, "print a progress line to stderr at this interval (e.g. 5s; 0 disables)")
 	flag.BoolVar(&o.csv, "csv", false, "emit per-request metrics as CSV")
 	flag.BoolVar(&o.verbose, "v", false, "print per-request lines")
 	flag.BoolVar(&o.util, "utilization", false, "print drive/robot utilization after the run")
@@ -92,7 +107,48 @@ func main() {
 	}
 }
 
+// isCSVPath reports whether an output path selects the CSV format: a
+// ".csv" extension, compared case-insensitively (".CSV" works too).
+func isCSVPath(path string) bool {
+	return strings.EqualFold(filepath.Ext(path), ".csv")
+}
+
 func run(o options) error {
+	// Create every output destination first, so an unwritable or
+	// uncreatable path fails in milliseconds at flag-handling time rather
+	// than after the simulation completes.
+	var traceSink interface {
+		trace.Recorder
+		Close() error
+	}
+	if o.tracePath != "" {
+		traceFile, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		if isCSVPath(o.tracePath) {
+			traceSink = trace.NewCSVWriter(traceFile)
+		} else {
+			traceSink = trace.NewJSONLWriter(traceFile)
+		}
+	}
+	var reportOut io.Writer
+	reportCSV := false
+	if o.report != "" {
+		if o.report == "-" {
+			reportOut = os.Stdout
+		} else {
+			reportFile, err := os.Create(o.report)
+			if err != nil {
+				return err
+			}
+			defer reportFile.Close()
+			reportOut = reportFile
+			reportCSV = isCSVPath(o.report)
+		}
+	}
+
 	hw := paralleltape.DefaultHardware()
 	hw.Libraries = o.libraries
 	hw.DrivesPerLib = o.drives
@@ -185,24 +241,12 @@ func run(o options) error {
 	}
 
 	// Assemble the recorder stack: a streaming exporter for -trace, an
-	// in-memory buffer for -report / -events. One Tee feeds them all.
+	// in-memory buffer for -report / -events, and the live-telemetry
+	// collector for -metrics-addr / -progress. One Tee feeds them all —
+	// the collector consumes the same event stream as the exporters, so
+	// enabling telemetry cannot change what the exporters see.
 	var recs trace.Tee
-	var traceFile *os.File
-	var traceSink interface {
-		trace.Recorder
-		Close() error
-	}
-	if o.tracePath != "" {
-		traceFile, err = os.Create(o.tracePath)
-		if err != nil {
-			return err
-		}
-		defer traceFile.Close()
-		if strings.HasSuffix(o.tracePath, ".csv") {
-			traceSink = trace.NewCSVWriter(traceFile)
-		} else {
-			traceSink = trace.NewJSONLWriter(traceFile)
-		}
+	if traceSink != nil {
 		recs = append(recs, traceSink)
 	}
 	var buf *trace.Buffer
@@ -213,6 +257,29 @@ func run(o options) error {
 		}
 		buf = trace.NewBuffer(limit)
 		recs = append(recs, buf)
+	}
+	if o.metricsAddr != "" || o.progress > 0 {
+		reg := telemetry.NewRegistry()
+		col := telemetry.NewCollector(reg)
+		col.RequestsTarget.Set(int64(o.requests))
+		recs = append(recs, col)
+		if o.metricsAddr != "" {
+			srv, err := telemetry.Serve(o.metricsAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "tapesim: telemetry on http://%s/metrics\n", srv.Addr())
+			if o.notifyServe != nil {
+				o.notifyServe(srv.Addr())
+			}
+		}
+		if o.progress > 0 {
+			prog := telemetry.StartProgress(telemetry.ProgressOptions{
+				Interval: o.progress, Collector: col, Label: "tapesim",
+			})
+			defer prog.Stop()
+		}
 	}
 	if len(recs) > 0 {
 		sys.SetRecorder(recs)
@@ -227,6 +294,9 @@ func run(o options) error {
 	}
 	ms := make([]tapesys.RequestMetrics, 0, o.requests)
 	for i := 0; i < o.requests; i++ {
+		if o.midRun != nil && i == o.requests/2 {
+			o.midRun()
+		}
 		mtr, err := sys.Submit(stream.Next())
 		if err != nil {
 			return err
@@ -297,21 +367,13 @@ func run(o options) error {
 	}
 	if o.report != "" && buf != nil {
 		tl := metrics.BuildTimeline(buf.Events)
-		var out io.Writer = os.Stdout
-		if o.report != "-" {
-			f, err := os.Create(o.report)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			out = f
-		} else {
+		if o.report == "-" {
 			fmt.Println()
 		}
-		if o.report != "-" && strings.HasSuffix(o.report, ".csv") {
-			return tl.WriteCSV(out)
+		if reportCSV {
+			return tl.WriteCSV(reportOut)
 		}
-		return tl.WriteText(out)
+		return tl.WriteText(reportOut)
 	}
 	return nil
 }

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // runSmall drives run() with small-workload defaults, optionally mutated.
@@ -148,4 +152,151 @@ func TestRunTraceAndReportExports(t *testing.T) {
 			t.Errorf("csv report missing %q:\n%s", frag, repCSV)
 		}
 	}
+}
+
+func TestRunCSVDetectionCaseInsensitive(t *testing.T) {
+	dir := t.TempDir()
+	traceUpper := filepath.Join(dir, "RUN.CSV")
+	reportUpper := filepath.Join(dir, "REPORT.Csv")
+	if err := runSmall(t, "parallel-batch", func(o *options) {
+		o.tracePath = traceUpper
+		o.report = reportUpper
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := os.ReadFile(traceUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(tr, []byte("t,kind,lib,drive,tape,req,bytes,dur,queue,name\n")) {
+		t.Errorf("uppercase .CSV trace not written as CSV: %.80s", tr)
+	}
+	rep, err := os.ReadFile(reportUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rep), "section,key,value") {
+		t.Errorf("mixed-case .Csv report not written as CSV: %.80s", rep)
+	}
+}
+
+func TestRunFailsFastOnUnwritableOutputs(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "no-such-dir", "out.jsonl")
+	start := time.Now()
+	if err := runSmall(t, "parallel-batch", func(o *options) {
+		o.tracePath = bad
+		o.requests = 5000 // a full run at this size takes far longer than the fail-fast budget
+	}); err == nil {
+		t.Error("unwritable -trace path accepted")
+	}
+	if err := runSmall(t, "parallel-batch", func(o *options) {
+		o.report = filepath.Join(dir, "no-such-dir", "report.txt")
+		o.requests = 5000
+	}); err == nil {
+		t.Error("unwritable -report path accepted")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("output validation took %v; should fail before simulating", elapsed)
+	}
+}
+
+// TestRunMetricsMidRunScrape is the acceptance check for -metrics-addr: a
+// scrape taken while the simulation is mid-flight must return well-formed
+// Prometheus text and expvar JSON that reflect partial progress.
+func TestRunMetricsMidRunScrape(t *testing.T) {
+	var addr string
+	scraped := false
+	err := runSmall(t, "parallel-batch", func(o *options) {
+		o.requests = 20
+		o.metricsAddr = "127.0.0.1:0"
+		o.notifyServe = func(a string) { addr = a }
+		o.midRun = func() {
+			scraped = true
+			if addr == "" {
+				t.Fatal("midRun fired before notifyServe")
+			}
+			prom := httpGet(t, "http://"+addr+"/metrics")
+			for _, frag := range []string{
+				"# TYPE tapesim_events_total counter",
+				"tapesim_requests_target 20",
+				"tapesim_requests_completed_total 10",
+				"tapesim_response_seconds_count 10",
+			} {
+				if !strings.Contains(prom, frag) {
+					t.Errorf("mid-run /metrics missing %q:\n%s", frag, prom)
+				}
+			}
+			var vars map[string]any
+			if err := json.Unmarshal([]byte(httpGet(t, "http://"+addr+"/debug/vars")), &vars); err != nil {
+				t.Fatalf("mid-run /debug/vars is not valid JSON: %v", err)
+			}
+			tele, ok := vars["telemetry"].(map[string]any)
+			if !ok {
+				t.Fatalf("expvar missing telemetry object: %v", vars["telemetry"])
+			}
+			if got := tele["tapesim_requests_completed_total"]; got != float64(10) {
+				t.Errorf("expvar completed = %v, want 10", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scraped {
+		t.Fatal("midRun hook never fired")
+	}
+}
+
+// TestRunTelemetryDeterminism is the determinism guard: enabling telemetry
+// must not change simulation results — the exported trace bytes for the
+// same seed are identical with and without the collector attached.
+func TestRunTelemetryDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.jsonl")
+	traced := filepath.Join(dir, "telemetry.jsonl")
+	if err := runSmall(t, "parallel-batch", func(o *options) {
+		o.tracePath = plain
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSmall(t, "parallel-batch", func(o *options) {
+		o.tracePath = traced
+		o.metricsAddr = "127.0.0.1:0"
+		o.progress = time.Hour // collector + progress goroutine attached, no output expected
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("trace bytes differ when telemetry is enabled; collector must be passive")
+	}
+}
+
+// httpGet fetches a URL and returns the body, failing the test on any error.
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"paralleltape/internal/telemetry"
 )
 
 // quickCfg returns the reduced-scale config used for all tests here; full
@@ -433,5 +435,62 @@ func TestDeterministicReports(t *testing.T) {
 	}
 	if bufA.String() != bufB.String() {
 		t.Errorf("fig9 not reproducible:\n%s\nvs\n%s", bufA.String(), bufB.String())
+	}
+}
+
+// TestSweepTelemetry checks the live-metric plumbing: a sweep with a
+// shared collector maintains the run/request targets and completion
+// counters, and — the determinism guard at the sweep level — produces
+// exactly the same rows as the same sweep with telemetry off.
+func TestSweepTelemetry(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Requests = 5
+
+	base, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = telemetry.NewCollector(reg)
+	traced, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := cfg.Telemetry
+	runs := int64(len(traced.Rows))
+	if got := col.RunsTarget.Value(); got != runs {
+		t.Errorf("runs target = %d, want %d", got, runs)
+	}
+	if got := col.RunsCompleted.Value(); got != uint64(runs) {
+		t.Errorf("runs completed = %d, want %d", got, runs)
+	}
+	seeds := cfg.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	wantReqs := uint64(len(traced.Rows) * cfg.Requests * seeds)
+	if got := col.Completed.Value(); got != wantReqs {
+		t.Errorf("requests completed = %d, want %d", got, wantReqs)
+	}
+	if got := col.RequestsTarget.Value(); got != int64(wantReqs) {
+		t.Errorf("requests target = %d, want %d", got, wantReqs)
+	}
+	if col.Events.Value() == 0 || col.BytesMoved.Value() == 0 {
+		t.Error("collector saw no events/bytes")
+	}
+	if col.ResponseSeconds.Count() != wantReqs {
+		t.Errorf("response histogram count = %d, want %d", col.ResponseSeconds.Count(), wantReqs)
+	}
+
+	if len(base.Rows) != len(traced.Rows) {
+		t.Fatalf("row count changed with telemetry: %d vs %d", len(base.Rows), len(traced.Rows))
+	}
+	for i := range base.Rows {
+		if base.Rows[i].Stats != traced.Rows[i].Stats {
+			t.Errorf("row %d stats changed with telemetry on:\n%+v\nvs\n%+v",
+				i, base.Rows[i].Stats, traced.Rows[i].Stats)
+		}
 	}
 }

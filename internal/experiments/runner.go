@@ -27,6 +27,7 @@ import (
 	"paralleltape/internal/rng"
 	"paralleltape/internal/tape"
 	"paralleltape/internal/tapesys"
+	"paralleltape/internal/telemetry"
 	"paralleltape/internal/units"
 	"paralleltape/internal/workload"
 )
@@ -61,6 +62,14 @@ type Config struct {
 	// placement); their metrics are pooled. More seeds damp sampling
 	// noise in the figures.
 	Seeds int
+	// Telemetry, when non-nil, streams live metrics from the sweep: every
+	// simulated system gets the collector as its trace recorder, and
+	// RunAll maintains the runs/requests targets and the completion
+	// counter, so a -progress reporter or a /metrics scrape can follow a
+	// long sweep. One collector is safely shared by all workers (its
+	// updates are atomic). Nil keeps the hot path recorder-free — the
+	// simulator's emit sites stay nil-check-only, with no allocations.
+	Telemetry *telemetry.Collector
 }
 
 // Default returns the paper's full-scale configuration.
@@ -200,6 +209,9 @@ func (c Config) execute(r Run) Row {
 			row.Err = fmt.Errorf("init: %w", err)
 			return row
 		}
+		if c.Telemetry != nil {
+			sys.SetRecorder(c.Telemetry)
+		}
 		stream, err := workload.NewRequestStream(r.W,
 			rng.New((c.Seed+uint64(si))^0x9E3779B97F4A7C15))
 		if err != nil {
@@ -221,6 +233,22 @@ func (c Config) execute(r Run) Row {
 
 // RunAll executes runs on the worker pool, preserving input order.
 func (c Config) RunAll(runs []Run) []Row {
+	if c.Telemetry != nil {
+		// Raise the sweep targets before dispatch so a progress line or
+		// scrape mid-sweep sees a stable denominator. Targets accumulate
+		// across sequential sweeps sharing one collector (tapebench
+		// -experiment all).
+		n := c.Requests
+		if n <= 0 {
+			n = 200
+		}
+		seeds := c.Seeds
+		if seeds <= 0 {
+			seeds = 1
+		}
+		c.Telemetry.RunsTarget.Add(int64(len(runs)))
+		c.Telemetry.RequestsTarget.Add(int64(len(runs) * n * seeds))
+	}
 	rows := make([]Row, len(runs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -230,6 +258,9 @@ func (c Config) RunAll(runs []Run) []Row {
 			defer wg.Done()
 			for i := range jobs {
 				rows[i] = c.execute(runs[i])
+				if c.Telemetry != nil {
+					c.Telemetry.RunsCompleted.Inc()
+				}
 			}
 		}()
 	}

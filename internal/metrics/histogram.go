@@ -9,11 +9,18 @@ import (
 
 // Histogram is a fixed-bin histogram with text rendering, used by the
 // workload analyzer and placement diagnostics.
+//
+// Out-of-range contract (shared with telemetry.Histogram): observations
+// below Lo or at/above Hi are never lost — they are tallied in the under-
+// and overflow edge counters and included in Total. NaN carries no
+// ordering information, so it is dropped: counted in NaNs but excluded
+// from Total. ±Inf land in the edge counters like any out-of-range value.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int
 	under  int
 	over   int
+	nans   int
 	total  int
 }
 
@@ -27,8 +34,15 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 }
 
 // Add records one observation; values outside the range are tallied in
-// under/overflow counters.
+// under/overflow counters, NaN is dropped (see the type contract).
 func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) {
+		// Without this check NaN would fail both range comparisons and
+		// reach the int conversion below, which is undefined for NaN and
+		// can produce a negative index.
+		h.nans++
+		return
+	}
 	h.total++
 	switch {
 	case v < h.Lo:
@@ -40,12 +54,25 @@ func (h *Histogram) Add(v float64) {
 		if idx >= len(h.Counts) { // guard the float edge
 			idx = len(h.Counts) - 1
 		}
+		if idx < 0 { // unreachable given v >= Lo, but never panic on a stat
+			idx = 0
+		}
 		h.Counts[idx]++
 	}
 }
 
-// Total returns the number of observations, including out-of-range ones.
+// Total returns the number of observations, including out-of-range ones
+// but excluding dropped NaNs.
 func (h *Histogram) Total() int { return h.total }
+
+// Under returns the count of observations below Lo.
+func (h *Histogram) Under() int { return h.under }
+
+// Over returns the count of observations at or above Hi.
+func (h *Histogram) Over() int { return h.over }
+
+// NaNs returns the count of dropped NaN observations.
+func (h *Histogram) NaNs() int { return h.nans }
 
 // Render writes the histogram as labeled text bars, scaled to width
 // characters. format renders bin boundaries (e.g. "%.0f").

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -30,6 +31,35 @@ func TestHistogramEdgeIntoLastBin(t *testing.T) {
 	h.Add(0.999999999999) // float edge must not index out of range
 	if h.Counts[2] != 1 {
 		t.Errorf("edge value bin: %v", h.Counts)
+	}
+}
+
+// TestHistogramNonFinite pins the out-of-range contract: NaN is dropped
+// (counted in NaNs, excluded from Total) instead of computing an undefined
+// int conversion, and ±Inf land in the edge counters.
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram(0, 10, 4)
+	h.Add(math.NaN()) // must not panic or disturb the bins
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	h.Add(5)
+	if h.NaNs() != 1 {
+		t.Errorf("NaNs = %d, want 1", h.NaNs())
+	}
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3 (NaN excluded)", h.Total())
+	}
+	if h.Under() != 1 || h.Over() != 1 {
+		t.Errorf("under/over = %d/%d, want 1/1 (±Inf)", h.Under(), h.Over())
+	}
+	for i, c := range h.Counts {
+		want := 0
+		if i == 2 { // 5 ∈ [5, 7.5)
+			want = 1
+		}
+		if c != want {
+			t.Errorf("bin %d = %d, want %d", i, c, want)
+		}
 	}
 }
 

@@ -108,4 +108,88 @@ func TestBuildTimelineEmpty(t *testing.T) {
 	if err := tl.WriteText(&buf); err != nil {
 		t.Fatal(err)
 	}
+	// Zero horizon must not divide by zero in utilization or the renders.
+	if u := (DriveTimeline{ServeSeconds: 5}).Utilization(tl.Horizon); u != 0 {
+		t.Errorf("utilization at zero horizon = %g, want 0", u)
+	}
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTimelineSingleEvent(t *testing.T) {
+	tl := BuildTimeline([]trace.Event{
+		{T: 0, Kind: trace.KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: 0},
+	})
+	if tl.Requests != 1 || tl.Horizon != 0 || len(tl.Drives) != 0 {
+		t.Errorf("single-event timeline: %+v", tl)
+	}
+	var txt, csv bytes.Buffer
+	if err := tl.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "run: 1 requests, 0 switches, horizon 0.00s") {
+		t.Errorf("text: %s", txt.String())
+	}
+	if err := tl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "run,requests,1") {
+		t.Errorf("csv: %s", csv.String())
+	}
+}
+
+// TestBuildTimelineOutOfOrderSpanClose covers a span-close event (serve-end)
+// whose duration exceeds the trace horizon: the drive's busy time is larger
+// than the observation window, so idle clamps to zero and utilization tops
+// out above 1 rather than going negative or dividing by zero.
+func TestBuildTimelineOutOfOrderSpanClose(t *testing.T) {
+	tl := BuildTimeline([]trace.Event{
+		{T: 5, Kind: trace.KindServeEnd, Lib: 0, Drive: 0, Tape: 0, Req: 0, Bytes: 10, Dur: 30},
+		{T: 4, Kind: trace.KindMounted, Lib: 0, Drive: 0, Tape: 1, Req: 0, Dur: 4},
+	})
+	if tl.Horizon != 5 {
+		t.Errorf("horizon = %g, want 5 (max T, not last T)", tl.Horizon)
+	}
+	d := tl.Drives[0]
+	if d.IdleSeconds != 0 {
+		t.Errorf("idle = %g, want clamp to 0 when spans exceed the horizon", d.IdleSeconds)
+	}
+	if u := d.Utilization(tl.Horizon); u <= 1 {
+		t.Errorf("utilization = %g, want > 1 for an over-subscribed window", u)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildTimelineIdleDrive covers a drive that appears in the trace only
+// through a zero-duration plan: utilization is exactly zero, idle spans the
+// whole horizon, and nothing divides by zero on the way.
+func TestBuildTimelineIdleDrive(t *testing.T) {
+	tl := BuildTimeline([]trace.Event{
+		{T: 0, Kind: trace.KindSeek, Lib: 1, Drive: 3, Tape: 0, Req: 0, Dur: 0},
+		{T: 8, Kind: trace.KindComplete, Lib: -1, Drive: -1, Tape: -1, Req: 0, Dur: 8},
+	})
+	if len(tl.Drives) != 1 {
+		t.Fatalf("drives = %d", len(tl.Drives))
+	}
+	d := tl.Drives[0]
+	if u := d.Utilization(tl.Horizon); u != 0 {
+		t.Errorf("idle drive utilization = %g, want 0", u)
+	}
+	if d.IdleSeconds != 8 {
+		t.Errorf("idle = %g, want full horizon", d.IdleSeconds)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "L1.D3") {
+		t.Errorf("idle drive missing from report:\n%s", buf.String())
+	}
 }

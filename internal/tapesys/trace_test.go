@@ -92,7 +92,6 @@ func TestTraceLimitAndDisable(t *testing.T) {
 	}
 }
 
-
 func TestDriveReportAccounting(t *testing.T) {
 	hw := testHW()
 	pl := manualPlacement(t, hw, 2,

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"paralleltape/internal/trace"
+)
+
+// Collector folds the simulator's trace event stream into the standard
+// live-metric series. It implements trace.Recorder, so it attaches
+// exactly where the exporters do (System.SetRecorder, or one arm of a
+// trace.Tee) — the simulator has a single instrumentation path, and with
+// no recorder attached the emit sites stay nil-check-only.
+//
+// All updates are atomic: one Collector may be shared by every worker
+// goroutine of an experiment sweep (each worker's System gets the same
+// Collector as its recorder). Series semantics and names are documented
+// in docs/OBSERVABILITY.md ("Live metrics").
+type Collector struct {
+	// Events counts every trace event consumed.
+	Events *Counter
+	// Submitted counts request submissions (kind "submit").
+	Submitted *Counter
+	// Completed counts request completions (kind "complete").
+	Completed *Counter
+	// RequestsTarget is the planned total number of request submissions,
+	// set by the driver (tapesim's -requests, or runs × requests × seeds
+	// for a sweep); the progress reporter derives ETA from it. Zero means
+	// unknown.
+	RequestsTarget *Gauge
+	// BytesMoved sums payload bytes over finished tape-group services
+	// (kind "serve-end").
+	BytesMoved *Counter
+	// Switches counts completed tape switches (kind "mounted").
+	Switches *Counter
+	// SeekSeconds sums planned seek time over services (kind "seek").
+	SeekSeconds *FloatCounter
+	// TransferSeconds sums planned transfer time (kind "transfer").
+	TransferSeconds *FloatCounter
+	// SwitchSeconds sums full switch latencies (kind "mounted").
+	SwitchSeconds *FloatCounter
+	// RobotWaitSeconds sums time acquirers spent queued for robot arms
+	// (kind "resource-grant").
+	RobotWaitSeconds *FloatCounter
+	// RobotQueueDepth is the queue depth carried by the most recent robot
+	// contention event (wait/grant/release).
+	RobotQueueDepth *Gauge
+	// SimTime is the high-water mark of the simulated clock across all
+	// systems feeding this collector.
+	SimTime *FloatGauge
+	// RunsCompleted counts finished sweep runs (incremented by
+	// internal/experiments, not by trace events).
+	RunsCompleted *Counter
+	// RunsTarget is the planned total number of sweep runs (gauge, set by
+	// internal/experiments). Zero outside sweeps.
+	RunsTarget *Gauge
+	// ResponseSeconds is the streaming histogram of request response
+	// times (kind "complete", Dur).
+	ResponseSeconds *Histogram
+	// SwitchLatencySeconds is the streaming histogram of full switch
+	// latencies (kind "mounted", Dur).
+	SwitchLatencySeconds *Histogram
+	// RequestBytes is the streaming histogram of request payload sizes
+	// (kind "complete", Bytes).
+	RequestBytes *Histogram
+}
+
+// NewCollector registers the standard series on reg and returns the
+// collector updating them.
+func NewCollector(reg *Registry) *Collector {
+	return &Collector{
+		Events:           reg.NewCounter("tapesim_events_total", "trace events consumed"),
+		Submitted:        reg.NewCounter("tapesim_requests_submitted_total", "request submissions"),
+		Completed:        reg.NewCounter("tapesim_requests_completed_total", "request completions"),
+		RequestsTarget:   reg.NewGauge("tapesim_requests_target", "planned total request submissions (0 = unknown)"),
+		BytesMoved:       reg.NewCounter("tapesim_bytes_moved_total", "payload bytes transferred by finished services"),
+		Switches:         reg.NewCounter("tapesim_tape_switches_total", "completed tape switches"),
+		SeekSeconds:      reg.NewFloatCounter("tapesim_seek_seconds_total", "summed planned seek time"),
+		TransferSeconds:  reg.NewFloatCounter("tapesim_transfer_seconds_total", "summed planned transfer time"),
+		SwitchSeconds:    reg.NewFloatCounter("tapesim_switch_seconds_total", "summed full switch latency"),
+		RobotWaitSeconds: reg.NewFloatCounter("tapesim_robot_wait_seconds_total", "summed robot queue wait time"),
+		RobotQueueDepth:  reg.NewGauge("tapesim_robot_queue_depth", "robot queue depth after the last contention event"),
+		SimTime:          reg.NewFloatGauge("tapesim_sim_time_seconds", "simulated clock high-water mark"),
+		RunsCompleted:    reg.NewCounter("tapesim_runs_completed_total", "finished experiment sweep runs"),
+		RunsTarget:       reg.NewGauge("tapesim_runs_target", "planned experiment sweep runs (0 = not a sweep)"),
+		ResponseSeconds: reg.NewHistogram("tapesim_response_seconds",
+			"request response time distribution", HistogramOptions{}),
+		SwitchLatencySeconds: reg.NewHistogram("tapesim_switch_latency_seconds",
+			"full tape-switch latency distribution", HistogramOptions{}),
+		RequestBytes: reg.NewHistogram("tapesim_request_bytes",
+			"request payload size distribution", HistogramOptions{Min: 1, Max: 1e15}),
+	}
+}
+
+// Record consumes one trace event (trace.Recorder).
+func (c *Collector) Record(ev trace.Event) {
+	c.Events.Inc()
+	c.SimTime.SetMax(ev.T)
+	switch ev.Kind {
+	case trace.KindSubmit:
+		c.Submitted.Inc()
+	case trace.KindComplete:
+		c.Completed.Inc()
+		c.ResponseSeconds.Observe(ev.Dur)
+		c.RequestBytes.Observe(float64(ev.Bytes))
+	case trace.KindSeek:
+		c.SeekSeconds.Add(ev.Dur)
+	case trace.KindTransfer:
+		c.TransferSeconds.Add(ev.Dur)
+	case trace.KindServeEnd:
+		if ev.Bytes > 0 {
+			c.BytesMoved.Add(uint64(ev.Bytes))
+		}
+	case trace.KindMounted:
+		c.Switches.Inc()
+		c.SwitchSeconds.Add(ev.Dur)
+		c.SwitchLatencySeconds.Observe(ev.Dur)
+	case trace.KindResourceWait, trace.KindResourceRelease:
+		c.RobotQueueDepth.Set(int64(ev.Queue))
+	case trace.KindResourceGrant:
+		c.RobotQueueDepth.Set(int64(ev.Queue))
+		c.RobotWaitSeconds.Add(ev.Dur)
+	}
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"paralleltape/internal/trace"
+)
+
+// feedScenario plays a small synthetic request through the collector:
+// submit → seek/transfer plans → robot contention → mount → serve-end →
+// complete.
+func feedScenario(c *Collector) {
+	events := []trace.Event{
+		{T: 0, Kind: trace.KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: 1},
+		{T: 0, Kind: trace.KindSeek, Lib: 0, Drive: 0, Tape: 3, Req: 1, Dur: 2.5},
+		{T: 0, Kind: trace.KindTransfer, Lib: 0, Drive: 0, Tape: 3, Req: 1, Bytes: 1000, Dur: 7.5},
+		{T: 1, Kind: trace.KindResourceWait, Lib: -1, Drive: -1, Tape: -1, Req: -1, Queue: 2, Name: "robot-0"},
+		{T: 2, Kind: trace.KindResourceGrant, Lib: -1, Drive: -1, Tape: -1, Req: -1, Dur: 1.0, Queue: 1, Name: "robot-0"},
+		{T: 3, Kind: trace.KindResourceRelease, Lib: -1, Drive: -1, Tape: -1, Req: -1, Dur: 1.0, Queue: 0, Name: "robot-0"},
+		{T: 4, Kind: trace.KindMounted, Lib: 0, Drive: 1, Tape: 5, Req: 1, Dur: 4.0},
+		{T: 10, Kind: trace.KindServeEnd, Lib: 0, Drive: 0, Tape: 3, Req: 1, Bytes: 1000, Dur: 10},
+		{T: 10, Kind: trace.KindComplete, Lib: -1, Drive: -1, Tape: -1, Req: 1, Bytes: 1000, Dur: 10},
+	}
+	for _, ev := range events {
+		c.Record(ev)
+	}
+}
+
+func TestCollectorSeries(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	feedScenario(c)
+
+	if c.Events.Value() != 9 {
+		t.Errorf("events = %d, want 9", c.Events.Value())
+	}
+	if c.Submitted.Value() != 1 || c.Completed.Value() != 1 {
+		t.Errorf("submitted/completed = %d/%d, want 1/1", c.Submitted.Value(), c.Completed.Value())
+	}
+	if c.BytesMoved.Value() != 1000 {
+		t.Errorf("bytes moved = %d, want 1000", c.BytesMoved.Value())
+	}
+	if c.Switches.Value() != 1 {
+		t.Errorf("switches = %d, want 1", c.Switches.Value())
+	}
+	if c.SeekSeconds.Value() != 2.5 || c.TransferSeconds.Value() != 7.5 || c.SwitchSeconds.Value() != 4.0 {
+		t.Errorf("seek/transfer/switch = %v/%v/%v, want 2.5/7.5/4",
+			c.SeekSeconds.Value(), c.TransferSeconds.Value(), c.SwitchSeconds.Value())
+	}
+	if c.RobotWaitSeconds.Value() != 1.0 {
+		t.Errorf("robot wait = %v, want 1", c.RobotWaitSeconds.Value())
+	}
+	if c.RobotQueueDepth.Value() != 0 {
+		t.Errorf("robot queue depth = %d, want 0 (after release)", c.RobotQueueDepth.Value())
+	}
+	if c.SimTime.Value() != 10 {
+		t.Errorf("sim time = %v, want 10", c.SimTime.Value())
+	}
+	if c.ResponseSeconds.Count() != 1 || c.SwitchLatencySeconds.Count() != 1 || c.RequestBytes.Count() != 1 {
+		t.Errorf("histogram counts = %d/%d/%d, want 1/1/1",
+			c.ResponseSeconds.Count(), c.SwitchLatencySeconds.Count(), c.RequestBytes.Count())
+	}
+	// Histogram quantile of a single sample is within 1% of it.
+	if got := c.ResponseSeconds.Quantile(0.5); got < 9.9 || got > 10.1 {
+		t.Errorf("response p50 = %v, want ~10", got)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	c.RequestsTarget.Set(4)
+	var sb strings.Builder
+	p := StartProgress(ProgressOptions{Out: &sb, Interval: time.Hour, Collector: c, Label: "progress"})
+	feedScenario(c)
+
+	line := p.line(p.lastWall.Add(2 * time.Second))
+	for _, frag := range []string{"progress:", "1/4 requests (25.0%)", "events/s", "sim 10.0s", "eta"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("line missing %q: %s", frag, line)
+		}
+	}
+	// Second window with no new events: rates drop to zero, ETA falls
+	// back to the lifetime average and the line still renders.
+	line = p.line(p.lastWall.Add(2 * time.Second))
+	if !strings.Contains(line, "0 events/s") {
+		t.Errorf("stalled window line: %s", line)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	if !strings.Contains(sb.String(), "progress:") {
+		t.Errorf("Stop did not print a final line: %q", sb.String())
+	}
+}
+
+func TestProgressSweepLine(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	c.RunsTarget.Set(6)
+	c.RunsCompleted.Add(2)
+	p := StartProgress(ProgressOptions{Out: &strings.Builder{}, Interval: time.Hour, Collector: c})
+	defer p.Stop()
+	line := p.line(p.lastWall.Add(time.Second))
+	if !strings.Contains(line, "runs 2/6") {
+		t.Errorf("sweep line missing runs: %s", line)
+	}
+}

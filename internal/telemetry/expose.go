@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// HTTP exposition of a Registry: Prometheus text format at /metrics,
+// expvar-style JSON at /debug/vars (the standard published vars —
+// cmdline, memstats — plus a "telemetry" object holding every registered
+// series), and the net/http/pprof handlers at /debug/pprof/. Serve binds
+// them all on one address; ":0" picks a free port, reported by Addr.
+
+// promFloat renders a float in Prometheus/JSON-safe form.
+func promFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges map directly;
+// histograms are exposed as summaries: one {quantile="q"} sample per
+// DefaultSummaryQuantiles entry plus _sum and _count.
+func (r *Registry) WritePrometheus(w *bufio.Writer) error {
+	for _, e := range r.snapshot() {
+		var typ string
+		switch e.metric.(type) {
+		case *Counter, *FloatCounter:
+			typ = "counter"
+		case *Gauge, *FloatGauge:
+			typ = "gauge"
+		case *Histogram:
+			typ = "summary"
+		default:
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.name, e.help, e.name, typ)
+		switch m := e.metric.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s %d\n", e.name, m.Value())
+		case *FloatCounter:
+			fmt.Fprintf(w, "%s %s\n", e.name, promFloat(m.Value()))
+		case *Gauge:
+			fmt.Fprintf(w, "%s %d\n", e.name, m.Value())
+		case *FloatGauge:
+			fmt.Fprintf(w, "%s %s\n", e.name, promFloat(m.Value()))
+		case *Histogram:
+			for _, q := range DefaultSummaryQuantiles {
+				fmt.Fprintf(w, "%s{quantile=\"%s\"} %s\n",
+					e.name, promFloat(q), promFloat(m.Quantile(q)))
+			}
+			fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", e.name, promFloat(m.Sum()), e.name, m.Count())
+		}
+	}
+	return w.Flush()
+}
+
+// writeVarsJSON renders the registry as one JSON object: counters and
+// gauges as numbers, histograms as {count, sum, dropped, pXX} objects.
+// Key order is registration order.
+func (r *Registry) writeVarsJSON(w *bufio.Writer) {
+	w.WriteString("{")
+	for i, e := range r.snapshot() {
+		if i > 0 {
+			w.WriteString(",")
+		}
+		fmt.Fprintf(w, "\n%q: ", e.name)
+		switch m := e.metric.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%d", m.Value())
+		case *FloatCounter:
+			w.WriteString(promFloat(m.Value()))
+		case *Gauge:
+			fmt.Fprintf(w, "%d", m.Value())
+		case *FloatGauge:
+			w.WriteString(promFloat(m.Value()))
+		case *Histogram:
+			fmt.Fprintf(w, "{\"count\": %d, \"sum\": %s, \"dropped\": %d",
+				m.Count(), promFloat(m.Sum()), m.Dropped())
+			for _, q := range DefaultSummaryQuantiles {
+				fmt.Fprintf(w, ", \"p%g\": %s", q*100, promFloat(m.Quantile(q)))
+			}
+			w.WriteString("}")
+		default:
+			w.WriteString("null")
+		}
+	}
+	w.WriteString("\n}")
+}
+
+// PrometheusHandler serves WritePrometheus.
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		_ = r.WritePrometheus(bw)
+	})
+}
+
+// ExpvarHandler serves /debug/vars-style JSON: every var published
+// through the standard expvar package (cmdline, memstats, and anything
+// the process added), plus a "telemetry" member holding this registry.
+// The registry is merged in here rather than expvar.Publish'ed globally
+// so several registries (e.g. in tests) never collide.
+func (r *Registry) ExpvarHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		bw.WriteString("{")
+		expvar.Do(func(kv expvar.KeyValue) {
+			fmt.Fprintf(bw, "\n%q: %s,", kv.Key, kv.Value)
+		})
+		bw.WriteString("\n\"telemetry\": ")
+		r.writeVarsJSON(bw)
+		bw.WriteString("\n}\n")
+		_ = bw.Flush()
+	})
+}
+
+// Server is a live-metrics HTTP server bound to one registry.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving reg on addr (":0" picks a free port) and returns
+// once the listener is bound; requests are handled on a background
+// goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.PrometheusHandler())
+	mux.Handle("/debug/vars", reg.ExpvarHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (host:port), useful with ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	feedScenario(c)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(bufio.NewWriter(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"# TYPE tapesim_events_total counter",
+		"tapesim_events_total 9",
+		"# TYPE tapesim_requests_target gauge",
+		"tapesim_seek_seconds_total 2.5",
+		"# TYPE tapesim_response_seconds summary",
+		`tapesim_response_seconds{quantile="0.5"}`,
+		"tapesim_response_seconds_count 1",
+		"tapesim_sim_time_seconds 10",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("prometheus output missing %q:\n%s", frag, out)
+		}
+	}
+	// Every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestExpvarJSONParses(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	feedScenario(c)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body := get(t, "http://"+srv.Addr()+"/debug/vars")
+	var decoded map[string]any
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\n%s", err, body)
+	}
+	if _, ok := decoded["memstats"]; !ok {
+		t.Error("expvar output missing standard memstats var")
+	}
+	tele, ok := decoded["telemetry"].(map[string]any)
+	if !ok {
+		t.Fatalf("expvar output missing telemetry object: %v", decoded["telemetry"])
+	}
+	if got := tele["tapesim_requests_completed_total"]; got != float64(1) {
+		t.Errorf("completed = %v, want 1", got)
+	}
+	hist, ok := tele["tapesim_response_seconds"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Errorf("response histogram = %v", tele["tapesim_response_seconds"])
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	NewCollector(reg)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	metrics := get(t, base+"/metrics")
+	if !strings.Contains(string(metrics), "tapesim_events_total") {
+		t.Errorf("/metrics missing series:\n%s", metrics)
+	}
+	pprofIndex := get(t, base+"/debug/pprof/")
+	if !strings.Contains(string(pprofIndex), "goroutine") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%.200s", pprofIndex)
+	}
+}
+
+// get fetches a URL and returns its body, failing the test on any error.
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func ExampleRegistry_WritePrometheus() {
+	reg := NewRegistry()
+	reqs := reg.NewCounter("demo_requests_total", "requests served")
+	reqs.Add(3)
+	var sb strings.Builder
+	_ = reg.WritePrometheus(bufio.NewWriter(&sb))
+	fmt.Print(sb.String())
+	// Output:
+	// # HELP demo_requests_total requests served
+	// # TYPE demo_requests_total counter
+	// demo_requests_total 3
+}

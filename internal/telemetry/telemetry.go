@@ -1,0 +1,179 @@
+// Package telemetry is the live-metrics layer of the simulator: a
+// registry of atomic counters, gauges, and streaming histograms that can
+// be scraped while a long simulation or experiment sweep is running —
+// where internal/trace and internal/metrics explain a run after the fact,
+// this package answers "how far along is it, and how fast is it going"
+// during the run.
+//
+// The package has four parts:
+//
+//   - Registry, Counter, FloatCounter, Gauge, FloatGauge, Histogram: the
+//     metric primitives. All updates are atomic, so one Collector may be
+//     shared by every worker goroutine of an experiment sweep.
+//   - Collector: a trace.Recorder that folds the existing simulator event
+//     stream (internal/trace) into the standard series — there is one
+//     instrumentation path, and with telemetry disabled the simulator's
+//     emit sites remain nil-check-only with zero allocations.
+//   - Server (expose.go): HTTP exposition — Prometheus text format at
+//     /metrics, expvar-style JSON at /debug/vars, and net/http/pprof at
+//     /debug/pprof/ — behind the -metrics-addr flag of cmd/tapesim and
+//     cmd/tapebench.
+//   - Progress (progress.go): a periodic stderr progress line (events/sec,
+//     sim-time rate, completed/total requests, ETA) behind the -progress
+//     flag.
+//
+// Every exported series name, its type, and the histogram quantile error
+// bound are documented in docs/OBSERVABILITY.md ("Live metrics").
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float metric (for summed
+// durations). The zero value is ready to use; Add is lock-free (CAS).
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds delta, which must be non-negative for the counter to stay
+// monotonic (not enforced — callers feed span durations, which are
+// non-negative by the simulator's causality checks).
+func (c *FloatCounter) Add(delta float64) {
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current sum.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an instantaneous integer value (queue depth, target counts).
+// The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is an instantaneous float value (the simulated clock). The
+// zero value is ready to use.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetMax raises the gauge to v if v is larger (a monotonic high-water
+// mark; used for the simulated clock, which several concurrent runs may
+// advance independently).
+func (g *FloatGauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry is an ordered, named set of metrics. Metrics are created
+// through the New* methods; names must be unique and are exposed verbatim
+// by the Prometheus and expvar handlers (expose.go). Registration is
+// mutex-guarded; the metrics themselves are atomic.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	names   map[string]bool
+}
+
+// entry pairs a metric with its exposition metadata.
+type entry struct {
+	name, help string
+	metric     any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{names: make(map[string]bool)} }
+
+// register adds a metric under a unique name; a duplicate name is a
+// construction bug and panics.
+func (r *Registry) register(name, help string, m any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.names[name] = true
+	r.entries = append(r.entries, entry{name: name, help: help, metric: m})
+}
+
+// snapshot copies the entry list for lock-free iteration by exporters.
+func (r *Registry) snapshot() []entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]entry(nil), r.entries...)
+}
+
+// NewCounter registers and returns a Counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, c)
+	return c
+}
+
+// NewFloatCounter registers and returns a FloatCounter.
+func (r *Registry) NewFloatCounter(name, help string) *FloatCounter {
+	c := &FloatCounter{}
+	r.register(name, help, c)
+	return c
+}
+
+// NewGauge registers and returns a Gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, g)
+	return g
+}
+
+// NewFloatGauge registers and returns a FloatGauge.
+func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{}
+	r.register(name, help, g)
+	return g
+}
+
+// NewHistogram registers and returns a streaming Histogram with the given
+// options (zero value = defaults; see HistogramOptions).
+func (r *Registry) NewHistogram(name, help string, opt HistogramOptions) *Histogram {
+	h := NewHistogram(opt)
+	r.register(name, help, h)
+	return h
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var fc FloatCounter
+	fc.Add(1.5)
+	fc.Add(2.25)
+	if fc.Value() != 3.75 {
+		t.Errorf("float counter = %v, want 3.75", fc.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+	var fg FloatGauge
+	fg.Set(2.5)
+	fg.SetMax(1.0) // lower: ignored
+	if fg.Value() != 2.5 {
+		t.Errorf("float gauge after SetMax(1.0) = %v, want 2.5", fg.Value())
+	}
+	fg.SetMax(9.5)
+	if fg.Value() != 9.5 {
+		t.Errorf("float gauge after SetMax(9.5) = %v, want 9.5", fg.Value())
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counter
+	var fc FloatCounter
+	var fg FloatGauge
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				fc.Add(0.5)
+				fg.SetMax(float64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if fc.Value() != workers*per*0.5 {
+		t.Errorf("float counter = %v, want %v", fc.Value(), workers*per*0.5)
+	}
+	if fg.Value() != workers*per-1 {
+		t.Errorf("float gauge = %v, want %v", fg.Value(), workers*per-1)
+	}
+}
+
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("x", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate metric name did not panic")
+		}
+	}()
+	reg.NewCounter("x", "second")
+}
