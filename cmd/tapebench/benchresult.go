@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"paralleltape"
+	"paralleltape/internal/sim"
 )
 
 // benchResultSchema versions the -json document layout.
@@ -121,7 +122,10 @@ func writeBenchResult(w io.Writer, experiment string, cfg paralleltape.Experimen
 // testing.Benchmark at the configured scale. The names are part of the
 // schema: simulate-request is the untraced Submit hot path (the
 // allocation-regression guard), simulate-request-traced adds an in-memory
-// trace buffer, placement-parallel-batch is raw placement cost.
+// trace buffer, placement-parallel-batch is raw placement cost, and
+// engine-schedule / engine-schedule-skewed isolate the event-queue kernel
+// (uniform and near/far-mixed deadlines; both mirror the benchmarks in
+// internal/sim and must stay at zero allocs/op).
 func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, error) {
 	w, err := paralleltape.GenerateWorkload(benchParams(cfg), cfg.Seed)
 	if err != nil {
@@ -167,6 +171,28 @@ func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, e
 			}
 		}
 	}
+	engSchedule := func(b *testing.B) {
+		eng := sim.NewEngine()
+		fn := func() {}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Schedule(1, fn)
+			eng.Run()
+		}
+	}
+	engScheduleSkewed := func(b *testing.B) {
+		eng := sim.NewEngine()
+		fn := func() {}
+		delays := [...]float64{0.001, 1800, 0.01, 700, 0.1, 2400, 1, 300}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Schedule(delays[i%len(delays)], fn)
+			if i%256 == 255 {
+				eng.RunUntil(eng.Now() + 4000)
+			}
+		}
+		eng.Run()
+	}
 
 	var out []benchMeasurement
 	for _, bench := range []struct {
@@ -176,6 +202,8 @@ func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, e
 		{"simulate-request", submit(plain, nil)},
 		{"simulate-request-traced", submit(traced, tbuf)},
 		{"placement-parallel-batch", place},
+		{"engine-schedule", engSchedule},
+		{"engine-schedule-skewed", engScheduleSkewed},
 	} {
 		r := testing.Benchmark(bench.fn)
 		if opErr != nil {

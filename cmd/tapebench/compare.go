@@ -1,0 +1,156 @@
+package main
+
+// The -compare mode is the repo's performance regression gate: it diffs two
+// bench-result documents (schema tapebench/bench-result/v1, typically a
+// committed BENCH_NNNN.json baseline against a fresh -quick -json run),
+// prints a benchstat-style table, and exits non-zero when the new run
+// regresses. The gate is asymmetric by design:
+//
+//   - ns/op is compared against a percentage tolerance (wall time is noisy,
+//     especially on shared CI runners);
+//   - allocs/op is near-exact: allocation counts are deterministic except
+//     for map overflow buckets, whose number depends on the per-process
+//     random map hash seed. A 0.1% slack (rounded down, so zero-alloc and
+//     low-alloc benchmarks stay exact) absorbs that jitter; any larger
+//     increase is a real regression;
+//   - bandwidth_mbps_by_scheme must match bit-for-bit: the perf work's
+//     contract is that simulation results stay byte-identical, and Go's
+//     float64 JSON encoding round-trips exactly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// allocSlackPct is the allowed allocs/op growth in percent of the baseline,
+// rounded down to whole allocations — 0.1% covers map hash-seed jitter
+// (±2 on ~50k allocs) while staying exactly zero for allocation-free paths.
+const allocSlackPct = 0.1
+
+// readBenchResult loads and schema-checks one bench-result document.
+func readBenchResult(path string) (*benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchResult
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != benchResultSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, benchResultSchema)
+	}
+	return &doc, nil
+}
+
+// runCompare diffs baseline oldPath against candidate newPath and returns
+// the process exit code: 0 clean, 1 regression found.
+func runCompare(w io.Writer, oldPath, newPath string, nsTolerancePct float64) (int, error) {
+	oldDoc, err := readBenchResult(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newDoc, err := readBenchResult(newPath)
+	if err != nil {
+		return 0, err
+	}
+	failures := compareBenchResults(w, oldDoc, newDoc, nsTolerancePct)
+	if len(failures) > 0 {
+		fmt.Fprintf(w, "\nREGRESSIONS (%d):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+		return 1, nil
+	}
+	fmt.Fprintln(w, "\nno regressions")
+	return 0, nil
+}
+
+// compareBenchResults prints the comparison table and returns the list of
+// regression descriptions (empty = gate passes).
+func compareBenchResults(w io.Writer, oldDoc, newDoc *benchResult, nsTolerancePct float64) []string {
+	var failures []string
+	fmt.Fprintf(w, "baseline: commit %s (%s)\n", oldDoc.Commit, oldDoc.GoVersion)
+	fmt.Fprintf(w, "new:      commit %s (%s)\n", newDoc.Commit, newDoc.GoVersion)
+	fmt.Fprintf(w, "tolerance: ns/op ±%.0f%%, allocs/op ±%.1f%% (map hash-seed jitter), bandwidth exact\n\n",
+		nsTolerancePct, allocSlackPct)
+
+	newByName := make(map[string]benchMeasurement, len(newDoc.Benchmarks))
+	for _, b := range newDoc.Benchmarks {
+		newByName[b.Name] = b
+	}
+	oldNames := make(map[string]bool, len(oldDoc.Benchmarks))
+
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %10s %10s %7s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, ob := range oldDoc.Benchmarks {
+		oldNames[ob.Name] = true
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("benchmark %q missing from new document (gate cannot weaken silently)", ob.Name))
+			fmt.Fprintf(w, "%-28s %14.0f %14s\n", ob.Name, ob.NsPerOp, "MISSING")
+			continue
+		}
+		nsDelta := 0.0
+		if ob.NsPerOp > 0 {
+			nsDelta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		}
+		allocDelta := nb.AllocsPerOp - ob.AllocsPerOp
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+7.1f%% %10d %10d %+7d\n",
+			ob.Name, ob.NsPerOp, nb.NsPerOp, nsDelta, ob.AllocsPerOp, nb.AllocsPerOp, allocDelta)
+		if nsDelta > nsTolerancePct {
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op %.0f -> %.0f (%+.1f%% > %.0f%% tolerance)",
+				ob.Name, ob.NsPerOp, nb.NsPerOp, nsDelta, nsTolerancePct))
+		}
+		if slack := int64(float64(ob.AllocsPerOp) * allocSlackPct / 100); allocDelta > slack {
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op %d -> %d (beyond the %+d map hash-seed slack)",
+				ob.Name, ob.AllocsPerOp, nb.AllocsPerOp, slack))
+		}
+	}
+	for _, nb := range newDoc.Benchmarks {
+		if !oldNames[nb.Name] {
+			fmt.Fprintf(w, "%-28s %14s %14.0f %8s %10s %10d\n",
+				nb.Name, "(new)", nb.NsPerOp, "", "", nb.AllocsPerOp)
+		}
+	}
+
+	// Bandwidth identity: the simulation must produce bit-identical
+	// results; both directions (missing and changed schemes) fail.
+	schemes := make([]string, 0, len(oldDoc.BandwidthMBpsByScheme)+len(newDoc.BandwidthMBpsByScheme))
+	seen := map[string]bool{}
+	for s := range oldDoc.BandwidthMBpsByScheme {
+		schemes, seen[s] = append(schemes, s), true
+	}
+	for s := range newDoc.BandwidthMBpsByScheme {
+		if !seen[s] {
+			schemes = append(schemes, s)
+		}
+	}
+	sort.Strings(schemes)
+	fmt.Fprintf(w, "\n%-28s %20s %20s\n", "scheme", "old MB/s", "new MB/s")
+	for _, s := range schemes {
+		ov, oOK := oldDoc.BandwidthMBpsByScheme[s]
+		nv, nOK := newDoc.BandwidthMBpsByScheme[s]
+		switch {
+		case !oOK:
+			fmt.Fprintf(w, "%-28s %20s %20.10g\n", s, "(absent)", nv)
+			failures = append(failures, fmt.Sprintf("bandwidth: scheme %q absent from baseline", s))
+		case !nOK:
+			fmt.Fprintf(w, "%-28s %20.10g %20s\n", s, ov, "(absent)")
+			failures = append(failures, fmt.Sprintf("bandwidth: scheme %q absent from new document", s))
+		case ov != nv:
+			fmt.Fprintf(w, "%-28s %20.10g %20.10g  CHANGED\n", s, ov, nv)
+			failures = append(failures, fmt.Sprintf(
+				"bandwidth: scheme %q changed %v -> %v (simulation results must be bit-identical)", s, ov, nv))
+		default:
+			fmt.Fprintf(w, "%-28s %20.10g %20.10g\n", s, ov, nv)
+		}
+	}
+	return failures
+}

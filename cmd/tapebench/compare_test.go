@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func benchDoc() *benchResult {
+	return &benchResult{
+		Schema:    benchResultSchema,
+		GoVersion: "go1.22",
+		Commit:    "abc123",
+		Benchmarks: []benchMeasurement{
+			{Name: "simulate-request", Iterations: 1000, NsPerOp: 10000, AllocsPerOp: 0, BytesPerOp: 64},
+			{Name: "placement-parallel-batch", Iterations: 10, NsPerOp: 9.5e7, AllocsPerOp: 51000, BytesPerOp: 2.2e7},
+		},
+		BandwidthMBpsByScheme: map[string]float64{
+			"parallel-batch":      153.0456754966517,
+			"cluster-probability": 86.89365562054768,
+		},
+	}
+}
+
+func writeDoc(t *testing.T, doc *benchResult) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// A document compared against itself must pass the gate.
+func TestCompareSelfIsClean(t *testing.T) {
+	path := writeDoc(t, benchDoc())
+	var buf bytes.Buffer
+	code, err := runCompare(&buf, path, path, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("self-compare exit code %d, want 0\n%s", code, buf.String())
+	}
+}
+
+// ns/op growth beyond the tolerance must fail; growth within it must pass.
+func TestCompareNsRegression(t *testing.T) {
+	base := benchDoc()
+	slow := benchDoc()
+	slow.Benchmarks[0].NsPerOp *= 2 // +100% > 40% tolerance
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, slow), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatal("2x ns/op regression passed a 40% gate")
+	}
+
+	okish := benchDoc()
+	okish.Benchmarks[0].NsPerOp *= 1.2 // +20% < 40% tolerance
+	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, okish), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatal("+20% ns/op failed a 40% gate")
+	}
+}
+
+// Zero-alloc benchmarks get zero slack: any allocs/op increase fails,
+// regardless of the ns tolerance.
+func TestCompareAllocRegressionIsExact(t *testing.T) {
+	base := benchDoc()
+	leaky := benchDoc()
+	leaky.Benchmarks[0].AllocsPerOp++ // 0 -> 1; slack is floor(0.1% of 0) = 0
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, leaky), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatal("allocs/op increase of 1 passed the gate")
+	}
+	// A decrease is an improvement, not a regression.
+	better := benchDoc()
+	better.Benchmarks[1].AllocsPerOp -= 1000
+	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, better), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatal("allocs/op decrease failed the gate")
+	}
+}
+
+// Alloc-heavy benchmarks get a 0.1% slack for map hash-seed jitter (the
+// per-process seed perturbs overflow-bucket counts by a few allocations),
+// but anything beyond it still fails.
+func TestCompareAllocHashSeedSlack(t *testing.T) {
+	base := benchDoc() // Benchmarks[1] has 51000 allocs -> slack 51
+	jitter := benchDoc()
+	jitter.Benchmarks[1].AllocsPerOp += 2
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, jitter), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatal("+2 allocs on 51000 (hash-seed jitter) failed the gate")
+	}
+
+	leaky := benchDoc()
+	leaky.Benchmarks[1].AllocsPerOp += 100
+	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, leaky), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatal("+100 allocs on 51000 passed the gate (slack is 51)")
+	}
+}
+
+// The simulated bandwidth must round-trip bit-identically.
+func TestCompareBandwidthMustBeIdentical(t *testing.T) {
+	base := benchDoc()
+	drifted := benchDoc()
+	drifted.BandwidthMBpsByScheme["parallel-batch"] += 1e-9
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, drifted), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatal("a 1e-9 bandwidth drift passed the gate; comparison must be exact")
+	}
+}
+
+// Dropping a benchmark from the new document fails (the gate must not
+// weaken silently); adding one is fine.
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := benchDoc()
+	shrunk := benchDoc()
+	shrunk.Benchmarks = shrunk.Benchmarks[:1]
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, shrunk), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatal("dropped benchmark passed the gate")
+	}
+
+	grown := benchDoc()
+	grown.Benchmarks = append(grown.Benchmarks,
+		benchMeasurement{Name: "engine-schedule", NsPerOp: 12, AllocsPerOp: 0})
+	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, grown), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatal("added benchmark failed the gate")
+	}
+}
+
+// A wrong schema string is an operational error, not a regression verdict.
+func TestCompareRejectsWrongSchema(t *testing.T) {
+	bad := benchDoc()
+	bad.Schema = "tapebench/bench-result/v0"
+	if _, err := runCompare(&bytes.Buffer{}, writeDoc(t, bad), writeDoc(t, benchDoc()), 40); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

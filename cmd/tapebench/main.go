@@ -14,6 +14,7 @@
 //	tapebench -experiment fig9 -csv -o fig9.csv
 //	tapebench -metrics-addr :9100 -progress 10s
 //	TAPEBENCH_COMMIT=$(git rev-parse HEAD) tapebench -quick -json BENCH.json
+//	tapebench -compare BENCH_0003.json fresh.json   # perf regression gate
 //	tapebench -pprof :6060 -gostats
 package main
 
@@ -49,12 +50,29 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve live telemetry on this address for the life of the sweep (Prometheus text at /metrics, expvar JSON at /debug/vars, net/http/pprof at /debug/pprof/)")
 		progress = flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 10s; 0 disables)")
+		compare = flag.String("compare", "",
+			"regression-gate mode: compare this baseline bench-result document against the one given as a positional argument (tapebench -compare old.json new.json), exit non-zero on regression")
+		compareNsTol = flag.Float64("compare-ns-tolerance", 40,
+			"-compare: allowed ns/op growth in percent (allocs/op gets a fixed 0.1% slack, bandwidth is always exact)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the life of the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		goStats  = flag.Bool("gostats", false, "print Go runtime metrics (GC, heap, scheduler) after the run")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "tapebench: -compare needs exactly one positional argument: the new bench-result document")
+			os.Exit(2)
+		}
+		code, err := runCompare(os.Stdout, *compare, flag.Arg(0), *compareNsTol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tapebench:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 
 	// Create output files first so an unwritable path fails immediately,
 	// not after the sweep completes.

@@ -58,7 +58,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 // TestBenchResultJSON regenerates one exhibit and checks the -json
 // benchmark-result document: schema identity, environment fields, the
-// three micro-benchmark measurements, and the per-scheme bandwidth map.
+// five micro-benchmark measurements, and the per-scheme bandwidth map.
 func TestBenchResultJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs testing.Benchmark (seconds)")
@@ -91,10 +91,11 @@ func TestBenchResultJSON(t *testing.T) {
 	if !res.Quick || res.Experiment != "fig9" || res.WallSeconds != 1.5 {
 		t.Errorf("config echo wrong: %+v", res)
 	}
-	if len(res.Benchmarks) != 3 {
-		t.Fatalf("benchmarks = %d, want 3", len(res.Benchmarks))
+	wantNames := []string{"simulate-request", "simulate-request-traced",
+		"placement-parallel-batch", "engine-schedule", "engine-schedule-skewed"}
+	if len(res.Benchmarks) != len(wantNames) {
+		t.Fatalf("benchmarks = %d, want %d", len(res.Benchmarks), len(wantNames))
 	}
-	wantNames := []string{"simulate-request", "simulate-request-traced", "placement-parallel-batch"}
 	for i, b := range res.Benchmarks {
 		if b.Name != wantNames[i] {
 			t.Errorf("benchmark %d = %q, want %q", i, b.Name, wantNames[i])

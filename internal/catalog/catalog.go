@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 
 	"paralleltape/internal/model"
@@ -139,6 +140,93 @@ func (c *Catalog) GroupRequest(r *model.Request) ([]TapeGroup, error) {
 		}
 		return a.Index < b.Index
 	})
+	return groups, nil
+}
+
+// Grouper resolves requests into per-cartridge groups with reusable
+// scratch. It produces output identical to Catalog.GroupRequest — same
+// groups, same ordering — but amortizes all bookkeeping across calls: the
+// per-group extent slices are carved out of one shared arena, so a caller
+// that issues many requests (the simulator's Submit hot path) performs no
+// steady-state allocations here. The returned slice and everything it
+// references are owned by the Grouper and valid only until the next Group
+// call. A Grouper is not safe for concurrent use.
+type Grouper struct {
+	c      *Catalog
+	groups []TapeGroup
+	counts []int
+	gidx   []int32 // per-object group index, avoids a second map lookup
+	idx    map[tape.Key]int32
+	arena  []tape.Extent
+}
+
+// NewGrouper returns a Grouper over c.
+func NewGrouper(c *Catalog) *Grouper {
+	return &Grouper{c: c, idx: make(map[tape.Key]int32)}
+}
+
+// Group is GroupRequest with scratch reuse; see the Grouper doc comment for
+// the aliasing contract.
+func (gr *Grouper) Group(r *model.Request) ([]TapeGroup, error) {
+	c := gr.c
+	clear(gr.idx)
+	groups := gr.groups[:0]
+	counts := gr.counts[:0]
+	gidx := gr.gidx[:0]
+	for _, id := range r.Objects {
+		loc, ok := c.Lookup(id)
+		if !ok {
+			gr.groups, gr.counts, gr.gidx = groups, counts, gidx
+			return nil, fmt.Errorf("catalog: request %d needs unplaced object %d", r.ID, id)
+		}
+		gi, seen := gr.idx[loc.Tape]
+		if !seen {
+			gi = int32(len(groups))
+			gr.idx[loc.Tape] = gi
+			groups = append(groups, TapeGroup{Tape: loc.Tape})
+			counts = append(counts, 0)
+		}
+		counts[gi]++
+		groups[gi].Bytes += loc.Extent.Size
+		gidx = append(gidx, gi)
+	}
+	// Carve per-group extent slices out of the shared arena. Three-index
+	// slicing caps each group at its exact count, so the appends below can
+	// never spill into a neighbour.
+	if cap(gr.arena) < len(r.Objects) {
+		gr.arena = make([]tape.Extent, 0, len(r.Objects))
+	}
+	arena := gr.arena[:0]
+	off := 0
+	for gi := range groups {
+		groups[gi].Extents = arena[off:off:off+counts[gi]]
+		off += counts[gi]
+	}
+	for i, id := range r.Objects {
+		loc, _ := c.Lookup(id)
+		g := &groups[gidx[i]]
+		g.Extents = append(g.Extents, loc.Extent)
+	}
+	for gi := range groups {
+		// Starts are unique per cartridge, so the unstable sort yields the
+		// same order GroupRequest's sort.Slice did.
+		slices.SortFunc(groups[gi].Extents, func(a, b tape.Extent) int {
+			if a.Start < b.Start {
+				return -1
+			}
+			if a.Start > b.Start {
+				return 1
+			}
+			return 0
+		})
+	}
+	slices.SortFunc(groups, func(a, b TapeGroup) int {
+		if a.Tape.Library != b.Tape.Library {
+			return a.Tape.Library - b.Tape.Library
+		}
+		return a.Tape.Index - b.Tape.Index
+	})
+	gr.groups, gr.counts, gr.gidx, gr.arena = groups, counts, gidx, arena
 	return groups, nil
 }
 

@@ -203,14 +203,23 @@ func (c Config) execute(r Run) Row {
 		seeds = 1
 	}
 	ms := make([]tapesys.RequestMetrics, 0, n*seeds)
+	// One System serves every seed: Reset replays the placement's initial
+	// state on the same engine, so the event queue, grouping arenas, and
+	// operation pools grown during seed 0 are reused instead of
+	// reallocated per run.
+	var sys *tapesys.System
 	for si := 0; si < seeds; si++ {
-		sys, err := tapesys.NewWithOptions(r.HW, pr, r.Opts)
+		if sys == nil {
+			sys, err = tapesys.NewWithOptions(r.HW, pr, r.Opts)
+			if err == nil && c.Telemetry != nil {
+				sys.SetRecorder(c.Telemetry)
+			}
+		} else {
+			err = sys.Reset(pr)
+		}
 		if err != nil {
 			row.Err = fmt.Errorf("init: %w", err)
 			return row
-		}
-		if c.Telemetry != nil {
-			sys.SetRecorder(c.Telemetry)
 		}
 		stream, err := workload.NewRequestStream(r.W,
 			rng.New((c.Seed+uint64(si))^0x9E3779B97F4A7C15))

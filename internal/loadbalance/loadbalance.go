@@ -9,7 +9,7 @@ package loadbalance
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Item is one object to place: its balancing load P(O)·size(O) and its
@@ -97,7 +97,9 @@ func Zigzag(items []Item, tapes []*TapeState, ndrv int) ([]int, error) {
 	if ndrv > len(tapes) {
 		ndrv = len(tapes)
 	}
-	// Sort items ascending by load, remembering input positions.
+	// Sort items ascending by load, remembering input positions. Ties keep
+	// input order: (Load, pos) is a total order, so the allocation-free
+	// unstable sort reproduces what a stable sort on Load alone would.
 	type ordered struct {
 		item Item
 		pos  int
@@ -106,7 +108,15 @@ func Zigzag(items []Item, tapes []*TapeState, ndrv int) ([]int, error) {
 	for i, it := range items {
 		ord[i] = ordered{item: it, pos: i}
 	}
-	sort.SliceStable(ord, func(i, j int) bool { return ord[i].item.Load < ord[j].item.Load })
+	slices.SortFunc(ord, func(a, b ordered) int {
+		if a.item.Load != b.item.Load {
+			if a.item.Load < b.item.Load {
+				return -1
+			}
+			return 1
+		}
+		return a.pos - b.pos
+	})
 
 	// Candidate tapes: the ndrv least-loaded, indexed ascending by load,
 	// ties by original index for determinism. The zigzag walks this
@@ -133,14 +143,11 @@ func Zigzag(items []Item, tapes []*TapeState, ndrv int) ([]int, error) {
 		target := rank[i]
 		if tapes[target].Free < o.item.Size {
 			// Capacity fallback: least-loaded tape (any in the batch, not
-			// just the ndrv window) that can hold the item.
-			target = -1
-			for _, cand := range leastLoadedOrder(tapes) {
-				if tapes[cand].Free >= o.item.Size {
-					target = cand
-					break
-				}
-			}
+			// just the ndrv window) that can hold the item. A single linear
+			// min-scan selects the same tape the old sorted ranking's first
+			// fitting entry did — minimum (Load, index) among tapes with
+			// room — without re-sorting the whole batch per fallback item.
+			target = leastLoadedWithRoom(tapes, o.item.Size)
 			if target < 0 {
 				// No tape can hold the item: report it unplaced (-1) and
 				// let the caller spill it to another batch.
@@ -217,12 +224,32 @@ func leastLoadedOrder(tapes []*TapeState) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(i, j int) bool {
-		a, b := tapes[idx[i]], tapes[idx[j]]
-		if a.Load != b.Load {
-			return a.Load < b.Load
+	slices.SortFunc(idx, func(a, b int) int {
+		ta, tb := tapes[a], tapes[b]
+		if ta.Load != tb.Load {
+			if ta.Load < tb.Load {
+				return -1
+			}
+			return 1
 		}
-		return idx[i] < idx[j]
+		return a - b
 	})
 	return idx
+}
+
+// leastLoadedWithRoom returns the index of the tape with the smallest
+// (Load, index) among those with at least size bytes free, or −1 if none
+// qualifies. Iterating ascending with a strict comparison keeps the lowest
+// index on load ties, matching leastLoadedOrder's ranking.
+func leastLoadedWithRoom(tapes []*TapeState, size int64) int {
+	best := -1
+	for i, t := range tapes {
+		if t.Free < size {
+			continue
+		}
+		if best < 0 || t.Load < tapes[best].Load {
+			best = i
+		}
+	}
+	return best
 }

@@ -2,7 +2,7 @@ package placement
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"paralleltape/internal/cluster"
 	"paralleltape/internal/loadbalance"
@@ -287,9 +287,13 @@ func sortUnitsByDensity(units []unit) {
 // returned as deferred so the caller can carry them into the next batch.
 func allocateSublist(b *builder, w *model.Workload, probs []float64,
 	sub []unit, keys []tape.Key, split int64, firstFit bool) ([]unit, error) {
+	// One backing array for the tape states instead of len(keys) separate
+	// allocations; the pointer slice view is what the balancer mutates.
+	stateArr := make([]loadbalance.TapeState, len(keys))
 	states := make([]*loadbalance.TapeState, len(keys))
 	for i, key := range keys {
-		states[i] = &loadbalance.TapeState{Free: b.free(key)}
+		stateArr[i] = loadbalance.TapeState{Free: b.free(key)}
+		states[i] = &stateArr[i]
 	}
 	order := make([]int, len(sub))
 	for i := range order {
@@ -302,6 +306,15 @@ func allocateSublist(b *builder, w *model.Workload, probs []float64,
 		}
 		return ux.objects[0] < uy.objects[0]
 	})
+	// items is sized once to the sublist's widest unit and reused for every
+	// unit, instead of a fresh slice per unit.
+	maxObjs := 0
+	for i := range sub {
+		if n := len(sub[i].objects); n > maxObjs {
+			maxObjs = n
+		}
+	}
+	items := make([]loadbalance.Item, 0, maxObjs)
 	var deferred []unit
 	for _, ui := range order {
 		u := sub[ui]
@@ -312,7 +325,7 @@ func allocateSublist(b *builder, w *model.Workload, probs []float64,
 			deferred = append(deferred, u)
 			continue
 		}
-		items := make([]loadbalance.Item, len(u.objects))
+		items = items[:len(u.objects)]
 		for i, id := range u.objects {
 			items[i] = loadbalance.Item{
 				Load: probs[id] * float64(w.Objects[id].Size),
@@ -375,7 +388,17 @@ func unitFeasible(w *model.Workload, u unit, states []*loadbalance.TapeState) bo
 	return largest <= freeMax
 }
 
-// sortSliceStable adapts sort.SliceStable to a typed comparator.
+// sortSliceStable adapts a less-style comparator to slices.SortStableFunc,
+// which — unlike sort.SliceStable — sorts through the concrete element type
+// with no reflection and no allocation.
 func sortSliceStable[T any](s []T, less func(a, b T) bool) {
-	sort.SliceStable(s, func(i, j int) bool { return less(s[i], s[j]) })
+	slices.SortStableFunc(s, func(a, b T) int {
+		if less(a, b) {
+			return -1
+		}
+		if less(b, a) {
+			return 1
+		}
+		return 0
+	})
 }

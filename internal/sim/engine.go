@@ -14,10 +14,14 @@
 // activity schedules its continuation. This keeps a full multi-library
 // simulation single-threaded and reproducible; parallelism is applied one
 // level up, across independent simulation runs (see internal/experiments).
+//
+// The kernel is also allocation-free in steady state (see
+// docs/PERFORMANCE.md): the event queue is a concrete-typed heap over a
+// reusable backing array, so Schedule/dispatch cost no allocations once the
+// array has grown to the run's high-water mark.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -34,31 +38,94 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires before o under the (at, seq) contract.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// eventQueue is a concrete-typed 4-ary min-heap ordered by (at, seq) over a
+// reusable backing array. A 4-ary layout halves the tree depth of a binary
+// heap and keeps sibling comparisons within one or two cache lines, and the
+// concrete element type avoids the interface{} boxing container/heap forces
+// on every Push/Pop — the old queue allocated twice per event for boxing
+// alone. seq is unique, so the order is total and independent of heap shape.
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// push inserts an event, growing only when the backing array is full.
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	// Sift up.
+	s := q.ev
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s[i].before(&s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the popped callback (and everything it captured) becomes
+// collectible immediately rather than being pinned by the backing array.
+func (q *eventQueue) pop() event {
+	s := q.ev
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the fn so fired callbacks are collectible
+	s = s[:n]
+	q.ev = s
+	// Sift down.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if s[j].before(&s[best]) {
+				best = j
+			}
+		}
+		if !s[best].before(&s[i]) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
+}
+
+// reset empties the queue, zeroing occupied slots so pending callbacks are
+// collectible, while keeping the backing array for reuse.
+func (q *eventQueue) reset() {
+	s := q.ev
+	for i := range s {
+		s[i] = event{}
+	}
+	q.ev = s[:0]
 }
 
 // Engine is the simulation clock and event queue. The zero value is ready
 // to use at time 0.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   eventQueue
 	seq     uint64
 	stepped uint64 // events executed, for diagnostics and runaway guards
 	limit   uint64 // optional max events (0 = unlimited)
@@ -67,6 +134,17 @@ type Engine struct {
 
 // NewEngine returns an Engine starting at time 0.
 func NewEngine() *Engine { return &Engine{} }
+
+// Reset returns the engine to time 0 with an empty queue, retaining the
+// queue's backing array (and the recorder and event limit) so a sequence of
+// runs — e.g. the per-seed loop of one experiment point — reuses the
+// high-water-mark allocation instead of regrowing a fresh heap each time.
+func (e *Engine) Reset() {
+	e.queue.reset()
+	e.now = 0
+	e.seq = 0
+	e.stepped = 0
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -108,7 +186,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic("sim: At with nil callback")
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Immediately runs fn at the current instant, after all callbacks already
@@ -118,8 +196,8 @@ func (e *Engine) Immediately(fn func()) { e.Schedule(0, fn) }
 // Run executes events in time order until the queue is empty and returns
 // the final clock value.
 func (e *Engine) Run() Time {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(event)
+	for e.queue.len() > 0 {
+		ev := e.queue.pop()
 		e.now = ev.at
 		e.stepped++
 		if e.limit > 0 && e.stepped > e.limit {
@@ -134,12 +212,12 @@ func (e *Engine) Run() Time {
 // queued, and advances the clock to min(deadline, last event time). It
 // returns true if the queue was drained.
 func (e *Engine) RunUntil(deadline Time) bool {
-	for len(e.queue) > 0 {
-		if e.queue[0].at > deadline {
+	for e.queue.len() > 0 {
+		if e.queue.ev[0].at > deadline {
 			e.now = deadline
 			return false
 		}
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.queue.pop()
 		e.now = ev.at
 		e.stepped++
 		if e.limit > 0 && e.stepped > e.limit {
@@ -154,4 +232,4 @@ func (e *Engine) RunUntil(deadline Time) bool {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }

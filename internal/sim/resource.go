@@ -10,11 +10,31 @@ import "paralleltape/internal/trace"
 // Acquire never blocks the caller; instead the grant callback fires (via the
 // engine) once the resource is free, at which point the holder must
 // eventually call Release exactly once.
+//
+// The grant path is allocation-free in steady state: the resource is
+// exclusive, so a single embedded Grant is recycled across ownership
+// periods, grants are dispatched through one cached engine callback, and
+// waiters queue in a reusable ring buffer.
 type Resource struct {
-	eng   *Engine
-	name  string
-	busy  bool
-	queue []func(g *Grant)
+	eng  *Engine
+	name string
+	busy bool
+
+	// waiters is a FIFO ring buffer: head is the next waiter, count the
+	// number queued. A ring (rather than slicing the head off an append
+	// queue) keeps long acquire/release sequences from reallocating.
+	waiters []waiter
+	head    int
+	count   int
+
+	// grant is the recycled ownership token (at most one holder exists at
+	// a time), next the waiter being dispatched, and dispatchFn the cached
+	// engine callback that performs the dispatch — creating it once in
+	// NewResource keeps Acquire/Release from allocating a closure per
+	// grant.
+	grant      Grant
+	next       waiter
+	dispatchFn func()
 
 	// accounting
 	acquisitions int
@@ -22,6 +42,13 @@ type Resource struct {
 	busyTotal    float64
 	waitTotal    float64
 	maxQueue     int
+}
+
+// waiter is one queued acquisition: the callback plus the request instant
+// (for wait-time accounting).
+type waiter struct {
+	fn        func(g *Grant)
+	requested Time
 }
 
 // Grant represents one ownership period of a Resource. Release it when the
@@ -49,11 +76,52 @@ func NewResource(eng *Engine, name string) *Resource {
 	if eng == nil {
 		panic("sim: NewResource with nil engine")
 	}
-	return &Resource{eng: eng, name: name}
+	r := &Resource{eng: eng, name: name}
+	r.grant.r = r
+	r.dispatchFn = r.dispatch
+	return r
 }
 
 // Name returns the diagnostic name.
 func (r *Resource) Name() string { return r.name }
+
+// dispatch hands the recycled grant to the armed waiter. It runs as an
+// engine event: at most one dispatch is pending per resource at any
+// instant, because a new one is only scheduled by Release (which requires
+// the previous grant to have fired) or by an Acquire that found the
+// resource free.
+func (r *Resource) dispatch() {
+	w := r.next
+	r.next = waiter{}
+	r.waitTotal += r.eng.Now() - w.requested
+	r.emit(trace.KindResourceGrant, r.eng.Now()-w.requested, r.count)
+	r.grant.released = false
+	w.fn(&r.grant)
+}
+
+// enqueue appends a waiter to the ring, growing it when full.
+func (r *Resource) enqueue(w waiter) {
+	if r.count == len(r.waiters) {
+		grown := make([]waiter, max(4, 2*len(r.waiters)))
+		for i := 0; i < r.count; i++ {
+			grown[i] = r.waiters[(r.head+i)%len(r.waiters)]
+		}
+		r.waiters = grown
+		r.head = 0
+	}
+	r.waiters[(r.head+r.count)%len(r.waiters)] = w
+	r.count++
+}
+
+// dequeue pops the oldest waiter; the vacated slot is zeroed so the
+// callback is collectible.
+func (r *Resource) dequeue() waiter {
+	w := r.waiters[r.head]
+	r.waiters[r.head] = waiter{}
+	r.head = (r.head + 1) % len(r.waiters)
+	r.count--
+	return w
+}
 
 // Acquire requests exclusive use. fn is invoked (through the engine, at the
 // current instant or later) once the resource is granted.
@@ -61,24 +129,19 @@ func (r *Resource) Acquire(fn func(g *Grant)) {
 	if fn == nil {
 		panic("sim: Acquire with nil callback")
 	}
-	requested := r.eng.Now()
-	wrapped := func(g *Grant) {
-		r.waitTotal += r.eng.Now() - requested
-		r.emit(trace.KindResourceGrant, r.eng.Now()-requested, len(r.queue))
-		fn(g)
-	}
 	if !r.busy {
 		r.busy = true
 		r.busySince = r.eng.Now()
 		r.acquisitions++
-		r.eng.Immediately(func() { wrapped(&Grant{r: r}) })
+		r.next = waiter{fn: fn, requested: r.eng.Now()}
+		r.eng.Immediately(r.dispatchFn)
 		return
 	}
-	r.queue = append(r.queue, wrapped)
-	if len(r.queue) > r.maxQueue {
-		r.maxQueue = len(r.queue)
+	r.enqueue(waiter{fn: fn, requested: r.eng.Now()})
+	if r.count > r.maxQueue {
+		r.maxQueue = r.count
 	}
-	r.emit(trace.KindResourceWait, 0, len(r.queue))
+	r.emit(trace.KindResourceWait, 0, r.count)
 }
 
 // Release ends the grant and hands the resource to the next waiter, if any.
@@ -93,23 +156,40 @@ func (g *Grant) Release() {
 	// busySince is the grant instant of the current holder, so the hold
 	// time of this ownership period is now − busySince.
 	r.busyTotal += r.eng.Now() - r.busySince
-	r.emit(trace.KindResourceRelease, r.eng.Now()-r.busySince, len(r.queue))
-	if len(r.queue) == 0 {
+	r.emit(trace.KindResourceRelease, r.eng.Now()-r.busySince, r.count)
+	if r.count == 0 {
 		r.busy = false
 		return
 	}
-	next := r.queue[0]
-	r.queue = r.queue[1:]
+	r.next = r.dequeue()
 	r.busySince = r.eng.Now()
 	r.acquisitions++
-	r.eng.Immediately(func() { next(&Grant{r: r}) })
+	r.eng.Immediately(r.dispatchFn)
+}
+
+// Reset returns the resource to its initial idle state with zeroed
+// accounting, keeping the ring buffer's backing array. Pair it with
+// Engine.Reset when replaying a fresh run on reused infrastructure.
+func (r *Resource) Reset() {
+	for i := range r.waiters {
+		r.waiters[i] = waiter{}
+	}
+	r.head, r.count = 0, 0
+	r.busy = false
+	r.next = waiter{}
+	r.grant.released = false
+	r.acquisitions = 0
+	r.busySince = 0
+	r.busyTotal = 0
+	r.waitTotal = 0
+	r.maxQueue = 0
 }
 
 // Busy reports whether the resource is currently held.
 func (r *Resource) Busy() bool { return r.busy }
 
 // QueueLen returns the number of waiters.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return r.count }
 
 // Stats summarizes utilization over the run so far.
 type ResourceStats struct {
@@ -151,6 +231,18 @@ func NewLatch(count int) *Latch {
 		panic("sim: NewLatch with negative count")
 	}
 	return &Latch{remaining: count}
+}
+
+// Reset rearms the latch for count completions with no waiter, keeping any
+// Observe attachment. It lets a long-lived owner (one latch per simulated
+// system, rather than one per request) reuse the allocation.
+func (l *Latch) Reset(count int) {
+	if count < 0 {
+		panic("sim: Latch.Reset with negative count")
+	}
+	l.remaining = count
+	l.fired = false
+	l.onZero = nil
 }
 
 // Observe names the latch and attaches it to an engine so its completion

@@ -13,6 +13,7 @@ package tape
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"paralleltape/internal/model"
@@ -294,6 +295,66 @@ func PlanReads(h Hardware, start int64, extents []Extent) ReadPlan {
 		return planA
 	}
 	return planB
+}
+
+// Planner computes read-plan totals with reusable scratch. The simulator
+// charges drives only the totals (seek seconds, transfer seconds, final
+// head position), so Plan skips materializing the service order PlanReads
+// returns — making the per-request hot path allocation-free once the
+// scratch buffer has grown to the largest group seen. A Planner is not safe
+// for concurrent use; the single-threaded simulation engine owns one.
+type Planner struct {
+	buf []Extent
+}
+
+// Plan returns the same SeekTotal/XferTotal/EndPos as PlanReads(h, start,
+// extents) with Order left nil. The input slice is not modified.
+func (p *Planner) Plan(h Hardware, start int64, extents []Extent) ReadPlan {
+	if len(extents) == 0 {
+		return ReadPlan{EndPos: start}
+	}
+	p.buf = append(p.buf[:0], extents...)
+	sorted := p.buf
+	slices.SortFunc(sorted, func(a, b Extent) int {
+		// Starts are unique on one cartridge, so the order is total.
+		if a.Start < b.Start {
+			return -1
+		}
+		if a.Start > b.Start {
+			return 1
+		}
+		return 0
+	})
+	// split is the first extent at or right of the head; see PlanReads for
+	// the two-sweep argument.
+	split := sort.Search(len(sorted), func(i int) bool { return sorted[i].Start >= start })
+	planA := evalSweep(h, start, sorted[split:], sorted[:split]) // right side first
+	planB := evalSweep(h, start, sorted[:split], sorted[split:]) // leftmost first
+	if planA.SeekTotal <= planB.SeekTotal {
+		return planA
+	}
+	return planB
+}
+
+// evalSweep accumulates the cost of serving seg1 then seg2 in order,
+// mirroring PlanReads' eval loop exactly (same accumulation order, so the
+// floating-point results are bit-identical).
+func evalSweep(h Hardware, start int64, seg1, seg2 []Extent) ReadPlan {
+	pos := start
+	var seek, xfer float64
+	for i := range seg1 {
+		e := &seg1[i]
+		seek += h.SeekTime(pos, e.Start)
+		xfer += h.TransferTime(e.Size)
+		pos = e.End()
+	}
+	for i := range seg2 {
+		e := &seg2[i]
+		seek += h.SeekTime(pos, e.Start)
+		xfer += h.TransferTime(e.Size)
+		pos = e.End()
+	}
+	return ReadPlan{SeekTotal: seek, XferTotal: xfer, EndPos: pos}
 }
 
 // SwitchCost returns the fixed (position-independent) portion of one tape

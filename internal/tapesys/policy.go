@@ -2,7 +2,7 @@ package tapesys
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"paralleltape/internal/catalog"
 )
@@ -91,23 +91,34 @@ func (o Options) Validate() error {
 }
 
 // sortPending orders one library's offline tape groups per the policy.
+// Every comparator is a total order (byte ties break on the unique slot
+// index), so the unstable slices.SortFunc — which, unlike sort.Slice,
+// allocates nothing — yields the same deterministic order.
 func sortPending(p []catalog.TapeGroup, order PendingOrder) {
 	switch order {
 	case SmallestFirst:
-		sort.Slice(p, func(i, j int) bool {
-			if p[i].Bytes != p[j].Bytes {
-				return p[i].Bytes < p[j].Bytes
+		slices.SortFunc(p, func(a, b catalog.TapeGroup) int {
+			if a.Bytes != b.Bytes {
+				if a.Bytes < b.Bytes {
+					return -1
+				}
+				return 1
 			}
-			return p[i].Tape.Index < p[j].Tape.Index
+			return a.Tape.Index - b.Tape.Index
 		})
 	case SlotOrder:
-		sort.Slice(p, func(i, j int) bool { return p[i].Tape.Index < p[j].Tape.Index })
+		slices.SortFunc(p, func(a, b catalog.TapeGroup) int {
+			return a.Tape.Index - b.Tape.Index
+		})
 	default: // LargestFirst
-		sort.Slice(p, func(i, j int) bool {
-			if p[i].Bytes != p[j].Bytes {
-				return p[i].Bytes > p[j].Bytes
+		slices.SortFunc(p, func(a, b catalog.TapeGroup) int {
+			if a.Bytes != b.Bytes {
+				if a.Bytes > b.Bytes {
+					return -1
+				}
+				return 1
 			}
-			return p[i].Tape.Index < p[j].Tape.Index
+			return a.Tape.Index - b.Tape.Index
 		})
 	}
 }

@@ -35,11 +35,23 @@
 // recorder attached tracing costs nothing on the hot path. Aggregate
 // per-drive and per-robot accounting (DriveReport, RobotReport,
 // WriteUtilization) is always on, trace or not.
+//
+// # Allocation model
+//
+// Submit is the simulator's hot path — a full experiment sweep issues
+// hundreds of thousands of requests — so all of its per-request state is
+// scratch owned by the System and reused across submissions (see
+// docs/PERFORMANCE.md): request grouping runs through a catalog.Grouper
+// arena, read planning through a tape.Planner, per-drive accounting is a
+// dense slice, pending queues and victim rankings reuse their backing
+// arrays, and the serve/switch continuations are pooled objects whose
+// closures are created once. In steady state (no recorder, scratch grown
+// to the workload's high-water mark) Submit performs no heap allocations.
 package tapesys
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"paralleltape/internal/catalog"
 	"paralleltape/internal/model"
@@ -53,10 +65,16 @@ import (
 type drive struct {
 	lib     int
 	idx     int
+	gidx    int   // global drive index (dense accounting key)
 	mounted int   // library-local tape index, -1 when empty
 	headPos int64 // byte offset of the head on the mounted tape
 	pinned  bool
 	failed  bool
+
+	// claimed marks the drive as occupied by the request currently being
+	// dispatched (serving or switching); valid only during Submit's
+	// synchronous dispatch phase.
+	claimed bool
 
 	// lifetime accounting
 	busySeconds   float64
@@ -74,6 +92,13 @@ type library struct {
 	byTape map[int]*drive
 }
 
+// mountedService pairs a drive with the request group its mounted tape
+// already holds.
+type mountedService struct {
+	d *drive
+	g catalog.TapeGroup
+}
+
 // System is a simulated parallel tape storage system. Create with New or
 // NewWithOptions, then Submit requests; state persists across submissions.
 type System struct {
@@ -88,6 +113,26 @@ type System struct {
 	totalSwitches int
 	totalBytes    int64
 	totalBusy     float64
+
+	// Reusable per-request scratch (see the package comment's allocation
+	// model). Submit runs one request to completion before returning and
+	// the engine is single-threaded, so exactly one request is in flight
+	// and its transient state can live on the System.
+	grouper    *catalog.Grouper
+	planner    tape.Planner
+	latch      *sim.Latch
+	latchFn    func()
+	reqDone    bool
+	curReq     int64
+	curMet     RequestMetrics
+	acct       []driveAcct           // dense, indexed by drive.gidx
+	pending    [][]catalog.TapeGroup // per-library offline-group queues
+	pendHead   []int                 // consumption cursor per library
+	mountedSvc []mountedService
+	eligible   []*drive
+	victimCmp  func(a, b *drive) int
+	servePool  []*serveOp
+	switchPool []*switchOp
 }
 
 // New builds a system in the placement's initial state with the paper's
@@ -104,43 +149,108 @@ func NewWithOptions(hw tape.Hardware, pl *placement.Result, opts Options) (*Syst
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if pl == nil || pl.Catalog == nil {
-		return nil, fmt.Errorf("tapesys: nil placement")
-	}
-	if len(pl.InitialMounts) != hw.Libraries {
-		return nil, fmt.Errorf("tapesys: placement has %d libraries, hardware %d",
-			len(pl.InitialMounts), hw.Libraries)
+	if err := validatePlacementShape(hw, pl); err != nil {
+		return nil, err
 	}
 	s := &System{
 		hw:   hw,
-		cat:  pl.Catalog,
-		prob: pl.TapeProb,
 		eng:  sim.NewEngine(),
 		opts: opts,
 	}
 	for lib := 0; lib < hw.Libraries; lib++ {
-		if len(pl.InitialMounts[lib]) != hw.DrivesPerLib || len(pl.Pinned[lib]) != hw.DrivesPerLib {
-			return nil, fmt.Errorf("tapesys: library %d mount table sized %d/%d, want %d",
-				lib, len(pl.InitialMounts[lib]), len(pl.Pinned[lib]), hw.DrivesPerLib)
-		}
 		l := &library{
 			idx:    lib,
 			robot:  sim.NewResource(s.eng, fmt.Sprintf("robot-%d", lib)),
 			byTape: make(map[int]*drive),
 		}
 		for d := 0; d < hw.DrivesPerLib; d++ {
-			dr := &drive{lib: lib, idx: d, mounted: pl.InitialMounts[lib][d], pinned: pl.Pinned[lib][d]}
-			if dr.mounted >= 0 {
-				if _, dup := l.byTape[dr.mounted]; dup {
-					return nil, fmt.Errorf("tapesys: library %d tape %d mounted twice", lib, dr.mounted)
-				}
-				l.byTape[dr.mounted] = dr
-			}
+			dr := &drive{lib: lib, idx: d, gidx: lib*hw.DrivesPerLib + d, mounted: -1}
 			l.drives = append(l.drives, dr)
 		}
 		s.libs = append(s.libs, l)
 	}
+	s.acct = make([]driveAcct, hw.Libraries*hw.DrivesPerLib)
+	s.pending = make([][]catalog.TapeGroup, hw.Libraries)
+	s.pendHead = make([]int, hw.Libraries)
+	s.latch = sim.NewLatch(0).Observe(s.eng, "request")
+	s.latchFn = func() { s.reqDone = true }
+	// victimLess is a total order (ties break on the unique drive index),
+	// so the unstable sort ranks victims deterministically. The comparator
+	// is created once so the per-request sort allocates nothing.
+	s.victimCmp = func(a, b *drive) int {
+		if s.victimLess(a, b) {
+			return -1
+		}
+		if s.victimLess(b, a) {
+			return 1
+		}
+		return 0
+	}
+	if err := s.applyPlacement(pl); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// validatePlacementShape checks a placement against the hardware geometry.
+func validatePlacementShape(hw tape.Hardware, pl *placement.Result) error {
+	if pl == nil || pl.Catalog == nil {
+		return fmt.Errorf("tapesys: nil placement")
+	}
+	if len(pl.InitialMounts) != hw.Libraries {
+		return fmt.Errorf("tapesys: placement has %d libraries, hardware %d",
+			len(pl.InitialMounts), hw.Libraries)
+	}
+	for lib := 0; lib < hw.Libraries; lib++ {
+		if len(pl.InitialMounts[lib]) != hw.DrivesPerLib || len(pl.Pinned[lib]) != hw.DrivesPerLib {
+			return fmt.Errorf("tapesys: library %d mount table sized %d/%d, want %d",
+				lib, len(pl.InitialMounts[lib]), len(pl.Pinned[lib]), hw.DrivesPerLib)
+		}
+	}
+	return nil
+}
+
+// applyPlacement points the system at a placement and installs its initial
+// mount state. Drive lifetime accounting is zeroed.
+func (s *System) applyPlacement(pl *placement.Result) error {
+	s.cat = pl.Catalog
+	s.prob = pl.TapeProb
+	s.grouper = catalog.NewGrouper(pl.Catalog)
+	for lib, l := range s.libs {
+		clear(l.byTape)
+		for d, dr := range l.drives {
+			*dr = drive{lib: lib, idx: d, gidx: dr.gidx,
+				mounted: pl.InitialMounts[lib][d], pinned: pl.Pinned[lib][d]}
+			if dr.mounted >= 0 {
+				if _, dup := l.byTape[dr.mounted]; dup {
+					return fmt.Errorf("tapesys: library %d tape %d mounted twice", lib, dr.mounted)
+				}
+				l.byTape[dr.mounted] = dr
+			}
+		}
+	}
+	return nil
+}
+
+// Reset restores the system to placement pl's initial state — fresh clock,
+// empty event queue, initial mounts, zeroed accounting — while reusing all
+// engine and scratch allocations (event heap, grouping arena, operation
+// pools). The recorder attachment survives. It is the cheap way to run a
+// sequence of independent simulations (e.g. one per seed) on identical
+// hardware: only the placement may change, and its shape must match the
+// system's hardware.
+func (s *System) Reset(pl *placement.Result) error {
+	if err := validatePlacementShape(s.hw, pl); err != nil {
+		return err
+	}
+	s.eng.Reset()
+	for _, l := range s.libs {
+		l.robot.Reset()
+	}
+	s.totalSwitches = 0
+	s.totalBytes = 0
+	s.totalBusy = 0
+	return s.applyPlacement(pl)
 }
 
 // RequestMetrics is the per-request measurement set of §6.
@@ -175,188 +285,292 @@ type driveAcct struct {
 	seek, xfer float64
 	finish     float64
 	moved      int64
+	used       bool
+}
+
+// serveOp is the pooled continuation of one tape service: it carries the
+// drive, group, and plan from schedule time to completion time, and its fn
+// closure is created once per pool entry so scheduling a service performs
+// no allocation.
+type serveOp struct {
+	s    *System
+	d    *drive
+	g    catalog.TapeGroup
+	plan tape.ReadPlan
+	fn   func()
+}
+
+func (s *System) getServeOp() *serveOp {
+	if n := len(s.servePool); n > 0 {
+		op := s.servePool[n-1]
+		s.servePool[n-1] = nil
+		s.servePool = s.servePool[:n-1]
+		return op
+	}
+	op := &serveOp{s: s}
+	op.fn = op.finish
+	return op
+}
+
+func (s *System) putServeOp(op *serveOp) {
+	op.d = nil
+	op.g = catalog.TapeGroup{}
+	op.plan = tape.ReadPlan{}
+	s.servePool = append(s.servePool, op)
+}
+
+// finish is the service-completion event: account the seek/transfer work,
+// free the drive, and let it pick up pending switch work.
+func (op *serveOp) finish() {
+	s, d, g, plan := op.s, op.d, op.g, op.plan
+	s.putServeOp(op)
+	d.headPos = plan.EndPos
+	a := &s.acct[d.gidx]
+	a.used = true
+	a.seek += plan.SeekTotal
+	a.xfer += plan.XferTotal
+	a.moved += g.Bytes
+	a.finish = s.eng.Now()
+	s.totalBusy += plan.SeekTotal + plan.XferTotal
+	d.busySeconds += plan.SeekTotal + plan.XferTotal
+	d.bytesMoved += g.Bytes
+	s.emit(trace.Event{Kind: trace.KindServeEnd, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+		Req: s.curReq, Bytes: g.Bytes, Dur: plan.SeekTotal + plan.XferTotal})
+	s.latch.Done()
+	s.afterService(d)
+}
+
+// switchOp is the pooled continuation chain of one tape switch. Its four
+// stage closures (rewind done → robot granted → move done → load done) are
+// created once per pool entry; the op carries the drive/group state across
+// the stages.
+type switchOp struct {
+	s           *System
+	d           *drive
+	l           *library
+	g           catalog.TapeGroup
+	switchBegin float64
+	hadTape     bool
+	grant       *sim.Grant
+
+	afterPrepFn func()
+	onGrantFn   func(*sim.Grant)
+	afterMoveFn func()
+	afterLoadFn func()
+}
+
+func (s *System) getSwitchOp() *switchOp {
+	if n := len(s.switchPool); n > 0 {
+		op := s.switchPool[n-1]
+		s.switchPool[n-1] = nil
+		s.switchPool = s.switchPool[:n-1]
+		return op
+	}
+	op := &switchOp{s: s}
+	op.afterPrepFn = op.afterPrep
+	op.onGrantFn = op.onGrant
+	op.afterMoveFn = op.afterMove
+	op.afterLoadFn = op.afterLoad
+	return op
+}
+
+func (s *System) putSwitchOp(op *switchOp) {
+	op.d = nil
+	op.l = nil
+	op.g = catalog.TapeGroup{}
+	op.grant = nil
+	s.switchPool = append(s.switchPool, op)
+}
+
+// afterPrep runs once the outgoing cartridge has rewound and unloaded (or
+// immediately for an empty drive): the cartridge has left the drive, so
+// queue for the robot.
+func (op *switchOp) afterPrep() {
+	d, l := op.d, op.l
+	op.hadTape = d.mounted >= 0
+	if op.hadTape {
+		delete(l.byTape, d.mounted)
+		d.mounted = -1
+	}
+	l.robot.Acquire(op.onGrantFn)
+}
+
+// onGrant runs holding the robot: perform the cell moves.
+func (op *switchOp) onGrant(grant *sim.Grant) {
+	s, d := op.s, op.d
+	op.grant = grant
+	move := s.hw.CellToDrive // fetch the target cartridge
+	if op.hadTape {
+		move += s.hw.CellToDrive // first stow the old one
+	}
+	s.emit(trace.Event{Kind: trace.KindRobot, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
+		Req: s.curReq, Dur: move})
+	s.eng.Schedule(move, op.afterMoveFn)
+}
+
+// afterMove runs when the robot finishes: release it and start load+thread.
+func (op *switchOp) afterMove() {
+	s, d := op.s, op.d
+	op.grant.Release()
+	s.emit(trace.Event{Kind: trace.KindLoad, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
+		Req: s.curReq, Dur: s.hw.LoadThread})
+	s.eng.Schedule(s.hw.LoadThread, op.afterLoadFn)
+}
+
+// afterLoad completes the mount and serves the group.
+func (op *switchOp) afterLoad() {
+	s, d, l, g := op.s, op.d, op.l, op.g
+	switchBegin := op.switchBegin
+	s.putSwitchOp(op)
+	d.mounted = g.Tape.Index
+	d.headPos = 0
+	d.mounts++
+	d.switchSeconds += s.eng.Now() - switchBegin
+	l.byTape[g.Tape.Index] = d
+	s.emit(trace.Event{Kind: trace.KindMounted, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+		Req: s.curReq, Dur: s.eng.Now() - switchBegin})
+	s.serve(d, g)
+}
+
+// serve schedules the seek+transfer span for group g on drive d.
+func (s *System) serve(d *drive, g catalog.TapeGroup) {
+	op := s.getServeOp()
+	op.d = d
+	op.g = g
+	op.plan = s.planner.Plan(s.hw, d.headPos, g.Extents)
+	if s.rec != nil {
+		s.emit(trace.Event{Kind: trace.KindServeStart, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+			Req: s.curReq, Bytes: g.Bytes})
+		s.emit(trace.Event{Kind: trace.KindSeek, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+			Req: s.curReq, Dur: op.plan.SeekTotal})
+		s.emit(trace.Event{Kind: trace.KindTransfer, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+			Req: s.curReq, Bytes: g.Bytes, Dur: op.plan.XferTotal})
+	}
+	s.eng.Schedule(op.plan.SeekTotal+op.plan.XferTotal, op.fn)
+}
+
+// startSwitch begins the rewind → robot → load pipeline moving drive d to
+// the cartridge of group g.
+func (s *System) startSwitch(d *drive, g catalog.TapeGroup) {
+	s.curMet.Switches++
+	s.totalSwitches++
+	op := s.getSwitchOp()
+	op.d = d
+	op.l = s.libs[d.lib]
+	op.g = g
+	op.switchBegin = s.eng.Now()
+	prep := 0.0
+	if d.mounted >= 0 {
+		prep = s.hw.RewindTime(d.headPos) + s.hw.Unload
+		s.emit(trace.Event{Kind: trace.KindRewind, Lib: d.lib, Drive: d.idx, Tape: d.mounted,
+			Req: s.curReq, Dur: prep})
+	}
+	s.eng.Schedule(prep, op.afterPrepFn)
+}
+
+// takePending pops the next offline group for a library.
+func (s *System) takePending(lib int) (catalog.TapeGroup, bool) {
+	if s.pendHead[lib] >= len(s.pending[lib]) {
+		return catalog.TapeGroup{}, false
+	}
+	g := s.pending[lib][s.pendHead[lib]]
+	s.pendHead[lib]++
+	return g, true
+}
+
+// afterService decides a drive's next move once it finishes a tape.
+func (s *System) afterService(d *drive) {
+	if d.pinned {
+		return
+	}
+	if g, ok := s.takePending(d.lib); ok {
+		s.startSwitch(d, g)
+	}
 }
 
 // Submit executes one request to completion and returns its metrics. The
 // engine runs until the system is idle again (the paper's zero-queueing
-// assumption).
+// assumption). All transient state lives in System-owned scratch; see the
+// package comment's allocation model.
 func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
-	groups, err := s.cat.GroupRequest(r)
+	groups, err := s.grouper.Group(r)
 	if err != nil {
 		return RequestMetrics{}, err
 	}
 	t0 := s.eng.Now()
-	met := RequestMetrics{Request: r.ID, TapesTouched: len(groups)}
-	s.emit(trace.Event{Kind: trace.KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: int64(r.ID)})
+	s.curReq = int64(r.ID)
+	s.curMet = RequestMetrics{Request: r.ID, TapesTouched: len(groups)}
+	met := &s.curMet
+	s.emit(trace.Event{Kind: trace.KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: s.curReq})
 
-	acct := make(map[*drive]*driveAcct)
-	acctOf := func(d *drive) *driveAcct {
-		a := acct[d]
-		if a == nil {
-			a = &driveAcct{}
-			acct[d] = a
-		}
-		return a
+	for i := range s.acct {
+		s.acct[i] = driveAcct{}
 	}
 	robotWait0 := s.robotWaitTotal()
 
-	latch := sim.NewLatch(len(groups)).Observe(s.eng, "request")
+	s.latch.Reset(len(groups))
 
 	// Per-library pending queues of offline tape groups, largest first so
 	// long transfers start earliest (LPT ordering keeps the makespan low).
-	pending := make([][]catalog.TapeGroup, s.hw.Libraries)
-	var mountedBytes int64
-	type mountedService struct {
-		d *drive
-		g catalog.TapeGroup
+	for lib := range s.pending {
+		s.pending[lib] = s.pending[lib][:0]
+		s.pendHead[lib] = 0
 	}
-	var mountedServices []mountedService
+	var mountedBytes int64
+	mounted := s.mountedSvc[:0]
 	for _, g := range groups {
 		met.Bytes += g.Bytes
 		l := s.libs[g.Tape.Library]
 		if d, ok := l.byTape[g.Tape.Index]; ok {
-			mountedServices = append(mountedServices, mountedService{d: d, g: g})
+			mounted = append(mounted, mountedService{d: d, g: g})
 			mountedBytes += g.Bytes
 		} else {
-			pending[g.Tape.Library] = append(pending[g.Tape.Library], g)
+			s.pending[g.Tape.Library] = append(s.pending[g.Tape.Library], g)
 		}
 	}
-	for lib := range pending {
-		sortPending(pending[lib], s.opts.Pending)
+	s.mountedSvc = mounted
+	for lib := range s.pending {
+		sortPending(s.pending[lib], s.opts.Pending)
 	}
 	if met.Bytes > 0 {
 		met.MountedRatio = float64(mountedBytes) / float64(met.Bytes)
 	}
 
-	// busy marks drives occupied by this request (serving or switching).
-	busy := make(map[*drive]bool)
-
-	// takePending pops the next offline group for a library.
-	takePending := func(lib int) (catalog.TapeGroup, bool) {
-		q := pending[lib]
-		if len(q) == 0 {
-			return catalog.TapeGroup{}, false
-		}
-		g := q[0]
-		pending[lib] = q[1:]
-		return g, true
-	}
-
-	var serve func(d *drive, g catalog.TapeGroup)
-	var startSwitch func(d *drive, g catalog.TapeGroup)
-
-	// afterService decides a drive's next move once it finishes a tape.
-	afterService := func(d *drive) {
-		if d.pinned {
-			return
-		}
-		if g, ok := takePending(d.lib); ok {
-			startSwitch(d, g)
+	// Phase 1: drives whose mounted tape holds requested objects are
+	// claimed by this request first.
+	for _, l := range s.libs {
+		for _, d := range l.drives {
+			d.claimed = false
 		}
 	}
-
-	serve = func(d *drive, g catalog.TapeGroup) {
-		plan := tape.PlanReads(s.hw, d.headPos, g.Extents)
-		a := acctOf(d)
-		if s.rec != nil {
-			s.emit(trace.Event{Kind: trace.KindServeStart, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-				Req: int64(r.ID), Bytes: g.Bytes})
-			s.emit(trace.Event{Kind: trace.KindSeek, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-				Req: int64(r.ID), Dur: plan.SeekTotal})
-			s.emit(trace.Event{Kind: trace.KindTransfer, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-				Req: int64(r.ID), Bytes: g.Bytes, Dur: plan.XferTotal})
-		}
-		s.eng.Schedule(plan.SeekTotal+plan.XferTotal, func() {
-			d.headPos = plan.EndPos
-			a.seek += plan.SeekTotal
-			a.xfer += plan.XferTotal
-			a.moved += g.Bytes
-			a.finish = s.eng.Now()
-			s.totalBusy += plan.SeekTotal + plan.XferTotal
-			d.busySeconds += plan.SeekTotal + plan.XferTotal
-			d.bytesMoved += g.Bytes
-			s.emit(trace.Event{Kind: trace.KindServeEnd, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-				Req: int64(r.ID), Bytes: g.Bytes, Dur: plan.SeekTotal + plan.XferTotal})
-			latch.Done()
-			afterService(d)
-		})
-	}
-
-	startSwitch = func(d *drive, g catalog.TapeGroup) {
-		met.Switches++
-		s.totalSwitches++
-		l := s.libs[d.lib]
-		switchBegin := s.eng.Now()
-		prep := 0.0
-		if d.mounted >= 0 {
-			prep = s.hw.RewindTime(d.headPos) + s.hw.Unload
-			s.emit(trace.Event{Kind: trace.KindRewind, Lib: d.lib, Drive: d.idx, Tape: d.mounted,
-				Req: int64(r.ID), Dur: prep})
-		}
-		s.eng.Schedule(prep, func() {
-			// The outgoing cartridge has left the drive.
-			hadTape := d.mounted >= 0
-			if hadTape {
-				delete(l.byTape, d.mounted)
-				d.mounted = -1
-			}
-			l.robot.Acquire(func(grant *sim.Grant) {
-				move := s.hw.CellToDrive // fetch the target cartridge
-				if hadTape {
-					move += s.hw.CellToDrive // first stow the old one
-				}
-				s.emit(trace.Event{Kind: trace.KindRobot, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-					Req: int64(r.ID), Dur: move})
-				s.eng.Schedule(move, func() {
-					grant.Release()
-					s.emit(trace.Event{Kind: trace.KindLoad, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-						Req: int64(r.ID), Dur: s.hw.LoadThread})
-					s.eng.Schedule(s.hw.LoadThread, func() {
-						d.mounted = g.Tape.Index
-						d.headPos = 0
-						d.mounts++
-						d.switchSeconds += s.eng.Now() - switchBegin
-						l.byTape[g.Tape.Index] = d
-						s.emit(trace.Event{Kind: trace.KindMounted, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-							Req: int64(r.ID), Dur: s.eng.Now() - switchBegin})
-						serve(d, g)
-					})
-				})
-			})
-		})
-	}
-
-	// Phase 1: drives whose mounted tape holds requested objects serve
-	// them first.
-	for _, ms := range mountedServices {
-		busy[ms.d] = true
+	for _, ms := range mounted {
+		ms.d.claimed = true
 	}
 	// Phase 2: eligible idle switch drives start switching immediately.
 	// Eligible = not pinned, not serving this request. Victims in
 	// least-popular-mounted-tape order (empty drives first).
 	for lib := range s.libs {
-		if len(pending[lib]) == 0 {
+		if len(s.pending[lib]) == 0 {
 			continue
 		}
-		var eligible []*drive
+		eligible := s.eligible[:0]
 		for _, d := range s.libs[lib].drives {
-			if d.pinned || d.failed || busy[d] {
+			if d.pinned || d.failed || d.claimed {
 				continue
 			}
 			eligible = append(eligible, d)
 		}
-		sort.Slice(eligible, func(i, j int) bool {
-			return s.victimLess(eligible[i], eligible[j])
-		})
+		s.eligible = eligible
+		slices.SortFunc(eligible, s.victimCmp)
 		for _, d := range eligible {
-			g, ok := takePending(lib)
+			g, ok := s.takePending(lib)
 			if !ok {
 				break
 			}
-			busy[d] = true
-			startSwitch(d, g)
+			d.claimed = true
+			s.startSwitch(d, g)
 		}
-		if len(pending[lib]) > 0 {
+		if s.pendHead[lib] < len(s.pending[lib]) {
 			// Remaining groups wait for serving drives to free up; require
 			// at least one unpinned drive in this library to guarantee
 			// progress.
@@ -373,26 +587,30 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 			}
 		}
 	}
-	// Kick off mounted services after switch dispatch so busy[] was
-	// complete; simulated start time is identical (same instant).
-	for _, ms := range mountedServices {
-		serve(ms.d, ms.g)
+	// Kick off mounted services after switch dispatch so the claimed marks
+	// were complete; simulated start time is identical (same instant).
+	for _, ms := range mounted {
+		s.serve(ms.d, ms.g)
 	}
 
-	done := false
-	latch.Wait(func() { done = true })
+	s.reqDone = false
+	s.latch.Wait(s.latchFn)
 	s.eng.Run()
-	if !done {
+	if !s.reqDone {
 		return RequestMetrics{}, fmt.Errorf("tapesys: request %d did not complete (%d groups outstanding)",
-			r.ID, latch.Remaining())
+			r.ID, s.latch.Remaining())
 	}
 
 	// §6 metrics: response from the last-finishing drive.
 	met.Response = s.eng.Now() - t0
 	s.emit(trace.Event{Kind: trace.KindComplete, Lib: -1, Drive: -1, Tape: -1,
-		Req: int64(r.ID), Bytes: met.Bytes, Dur: met.Response})
+		Req: s.curReq, Bytes: met.Bytes, Dur: met.Response})
 	var last *driveAcct
-	for _, a := range acct {
+	for i := range s.acct {
+		a := &s.acct[i]
+		if !a.used {
+			continue
+		}
 		met.SumSeek += a.seek
 		met.SumTransfer += a.xfer
 		if a.moved > 0 {
@@ -412,7 +630,7 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	}
 	met.RobotWait = s.robotWaitTotal() - robotWait0
 	s.totalBytes += met.Bytes
-	return met, nil
+	return s.curMet, nil
 }
 
 // mountedProb returns the accumulated probability of the drive's mounted
@@ -446,7 +664,7 @@ func (s *System) MountedTapes() [][]int {
 		for ti := range l.byTape {
 			out[i] = append(out[i], ti)
 		}
-		sort.Ints(out[i])
+		slices.Sort(out[i])
 	}
 	return out
 }
