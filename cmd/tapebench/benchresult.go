@@ -122,7 +122,9 @@ func writeBenchResult(w io.Writer, experiment string, cfg paralleltape.Experimen
 // testing.Benchmark at the configured scale. The names are part of the
 // schema: simulate-request is the untraced Submit hot path (the
 // allocation-regression guard), simulate-request-traced adds an in-memory
-// trace buffer, placement-parallel-batch is raw placement cost, and
+// trace buffer, simulate-request-shards{2,4} fork each request across
+// engine shards (bounding the fork/join overhead; results stay
+// byte-identical), placement-parallel-batch is raw placement cost, and
 // engine-schedule / engine-schedule-skewed isolate the event-queue kernel
 // (uniform and near/far-mixed deadlines; both mirror the benchmarks in
 // internal/sim and must stay at zero allocs/op).
@@ -145,6 +147,14 @@ func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, e
 		return nil, err
 	}
 	tbuf := traced.EnableTrace(0)
+	sharded2, err := paralleltape.NewSystemWithOptions(hw, pl, paralleltape.SimOptions{Shards: 2})
+	if err != nil {
+		return nil, err
+	}
+	sharded4, err := paralleltape.NewSystemWithOptions(hw, pl, paralleltape.SimOptions{Shards: 4})
+	if err != nil {
+		return nil, err
+	}
 	reqs := w.Requests
 
 	var opErr error
@@ -201,6 +211,8 @@ func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, e
 	}{
 		{"simulate-request", submit(plain, nil)},
 		{"simulate-request-traced", submit(traced, tbuf)},
+		{"simulate-request-shards2", submit(sharded2, nil)},
+		{"simulate-request-shards4", submit(sharded4, nil)},
 		{"placement-parallel-batch", place},
 		{"engine-schedule", engSchedule},
 		{"engine-schedule-skewed", engScheduleSkewed},

@@ -39,10 +39,12 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "all",
 			"which exhibit to regenerate: all, table1, fig5, fig6, fig7, fig8, fig9, tech, robustness, ablation, striping, online, scheduler, sensitivity")
-		quick       = flag.Bool("quick", false, "reduced-scale configuration (fast)")
-		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
-		requests    = flag.Int("requests", 0, "override simulated requests per run (0 keeps the default)")
-		workers     = flag.Int("workers", 0, "parallel run workers (0 = GOMAXPROCS)")
+		quick    = flag.Bool("quick", false, "reduced-scale configuration (fast)")
+		seed     = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+		requests = flag.Int("requests", 0, "override simulated requests per run (0 keeps the default)")
+		workers  = flag.Int("workers", 0, "parallel run workers (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0,
+			"engine shards per simulated system (0 = single engine; results are byte-identical for every value)")
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		chart       = flag.Bool("chart", false, "append a bandwidth bar chart to each exhibit")
 		jsonOut     = flag.String("json", "", "write a machine-readable benchmark-result document (schema tapebench/bench-result/v1) to this file (- for stdout)")
@@ -50,7 +52,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve live telemetry on this address for the life of the sweep (Prometheus text at /metrics, expvar JSON at /debug/vars, net/http/pprof at /debug/pprof/)")
 		progress = flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 10s; 0 disables)")
-		compare = flag.String("compare", "",
+		compare  = flag.String("compare", "",
 			"regression-gate mode: compare this baseline bench-result document against the one given as a positional argument (tapebench -compare old.json new.json), exit non-zero on regression")
 		compareNsTol = flag.Float64("compare-ns-tolerance", 40,
 			"-compare: allowed ns/op growth in percent (allocs/op gets a fixed 0.1% slack, bandwidth is always exact)")
@@ -134,6 +136,7 @@ func main() {
 		cfg.Requests = *requests
 	}
 	cfg.Workers = *workers
+	cfg.Shards = *shards
 
 	// Live telemetry: one collector shared by every run in the sweep. The
 	// experiment runner raises the run/request targets and streams events

@@ -92,6 +92,7 @@ func TestBenchResultJSON(t *testing.T) {
 		t.Errorf("config echo wrong: %+v", res)
 	}
 	wantNames := []string{"simulate-request", "simulate-request-traced",
+		"simulate-request-shards2", "simulate-request-shards4",
 		"placement-parallel-batch", "engine-schedule", "engine-schedule-skewed"}
 	if len(res.Benchmarks) != len(wantNames) {
 		t.Fatalf("benchmarks = %d, want %d", len(res.Benchmarks), len(wantNames))

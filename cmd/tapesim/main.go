@@ -51,6 +51,7 @@ type options struct {
 	tapes       int
 	capacity    string
 	rate        string
+	shards      int
 	target      string
 	workload    string        // JSON workload trace to load instead of generating
 	tracePath   string        // structured event trace export (.jsonl or .csv)
@@ -87,6 +88,8 @@ func main() {
 	flag.IntVar(&o.tapes, "tapes", 80, "tapes per library")
 	flag.StringVar(&o.capacity, "capacity", "400GB", "cartridge capacity")
 	flag.StringVar(&o.rate, "rate", "80MB", "native transfer rate (bytes/s)")
+	flag.IntVar(&o.shards, "shards", 0,
+		"partition the libraries into this many concurrent engine shards (0 = single engine; results are byte-identical either way)")
 	flag.StringVar(&o.target, "request-size", "", "rescale object sizes to this mean request size (e.g. 213GB)")
 	flag.StringVar(&o.workload, "workload", "", "load workload from a JSON trace instead of generating")
 	flag.StringVar(&o.tracePath, "trace", "", "write the structured event trace to this file (JSONL; .csv extension switches to CSV)")
@@ -235,7 +238,7 @@ func run(o options) error {
 		fmt.Println()
 	}
 
-	sys, err := tapesys.New(hw, pl)
+	sys, err := tapesys.NewWithOptions(hw, pl, tapesys.Options{Shards: o.shards})
 	if err != nil {
 		return err
 	}

@@ -199,7 +199,7 @@ func (gr *Grouper) Group(r *model.Request) ([]TapeGroup, error) {
 	arena := gr.arena[:0]
 	off := 0
 	for gi := range groups {
-		groups[gi].Extents = arena[off:off:off+counts[gi]]
+		groups[gi].Extents = arena[off : off : off+counts[gi]]
 		off += counts[gi]
 	}
 	for i, id := range r.Objects {

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; heavy
+// sweep-matrix tests shrink their load under it so the CI race job stays
+// inside its time budget while still exercising every code path.
+const raceEnabled = true

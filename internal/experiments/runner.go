@@ -7,18 +7,27 @@
 //
 // Each experiment expands into a set of independent simulation runs
 // (scheme × parameter point), executed by a goroutine worker pool; each
-// run is itself a deterministic single-threaded simulation seeded from the
-// experiment seed, so reports reproduce exactly for a given Config —
-// parallelism changes wall-clock time only (the determinism contract in
-// docs/ARCHITECTURE.md).
+// run is itself a deterministic simulation seeded from the experiment
+// seed — optionally sharded across library-partitioned engines
+// (Config.Shards) with a deterministic join — so reports reproduce
+// exactly for a given Config: neither the worker count nor the shard
+// count changes a single byte of output, only wall-clock time (the
+// determinism contract in docs/ARCHITECTURE.md).
+//
+// Runs within one sweep that share the same (scheme, workload, hardware)
+// triple — e.g. the scheduler study's nine policy points — also share one
+// memoized placement: Scheme.Place runs once per distinct triple and the
+// read-only PlacementResult is reused, concurrently, by every run.
 package experiments
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"paralleltape/internal/cluster"
 	"paralleltape/internal/metrics"
@@ -41,6 +50,12 @@ type Config struct {
 	Requests int
 	// Workers bounds concurrent runs; 0 means GOMAXPROCS.
 	Workers int
+	// Shards partitions each simulated system's libraries into this many
+	// engine shards running concurrently within every request
+	// (tapesys.Options.Shards). 0 keeps the single-engine path. Results
+	// are byte-identical for every value; a run that sets its own
+	// Options.Shards wins over this default.
+	Shards int
 	// Scale shrinks the experiment for quick runs (1.0 = the paper's
 	// full scale). The object population, the request length range, the
 	// figure request-size targets, and (via Quick) the cartridge capacity
@@ -185,10 +200,67 @@ type Row struct {
 	Err       error
 }
 
-// execute performs one run start to finish.
-func (c Config) execute(r Run) Row {
+// placeKey identifies a placement computation: same scheme value, same
+// workload instance, same hardware → same (deterministic) result. The
+// scheme is held as an interface value, so the key is only usable when the
+// scheme's dynamic type is comparable (all built-in schemes are).
+type placeKey struct {
+	scheme placement.Scheme
+	w      *model.Workload
+	hw     tape.Hardware
+}
+
+// placeEntry is one memoized placement; Once gates the single Place call
+// while concurrent runs needing the same key wait on it.
+type placeEntry struct {
+	once sync.Once
+	pr   *placement.Result
+	err  error
+}
+
+// placeCache memoizes Scheme.Place per (scheme, workload, hardware) triple
+// for the duration of one RunAll sweep. Placement is deterministic and its
+// Result is read-only during simulation, so sharing one Result across
+// concurrent runs is safe and changes no output — it only removes
+// repeated placement work (the scheduler study runs nine simulations off
+// one placement).
+type placeCache struct {
+	mu sync.Mutex
+	m  map[placeKey]*placeEntry
+}
+
+func newPlaceCache() *placeCache {
+	return &placeCache{m: make(map[placeKey]*placeEntry)}
+}
+
+// place returns the memoized placement for the run, computing it on first
+// use. Runs whose scheme has a non-comparable dynamic type bypass the
+// cache.
+func (pc *placeCache) place(r Run) (*placement.Result, error) {
+	if pc == nil || !reflect.TypeOf(r.Scheme).Comparable() {
+		return r.Scheme.Place(r.W, r.HW)
+	}
+	key := placeKey{scheme: r.Scheme, w: r.W, hw: r.HW}
+	pc.mu.Lock()
+	e, ok := pc.m[key]
+	if !ok {
+		e = &placeEntry{}
+		pc.m[key] = e
+	}
+	pc.mu.Unlock()
+	e.once.Do(func() {
+		e.pr, e.err = r.Scheme.Place(r.W, r.HW)
+	})
+	return e.pr, e.err
+}
+
+// execute performs one run start to finish. pc may be nil (no memoization).
+func (c Config) execute(r Run, pc *placeCache) Row {
 	row := Row{Label: r.Label, Scheme: r.Scheme.Name(), X: r.X}
-	pr, err := r.Scheme.Place(r.W, r.HW)
+	if r.Opts.Shards == 0 {
+		r.Opts.Shards = c.Shards
+	}
+	pr, err := pc.place(r)
 	if err != nil {
 		row.Err = fmt.Errorf("place: %w", err)
 		return row
@@ -259,24 +331,28 @@ func (c Config) RunAll(runs []Run) []Row {
 		c.Telemetry.RequestsTarget.Add(int64(len(runs) * n * seeds))
 	}
 	rows := make([]Row, len(runs))
-	jobs := make(chan int)
+	pc := newPlaceCache()
+	// Job dispatch is an atomic claim counter: workers pull the next index
+	// lock-free until the list is drained, with no dispatcher goroutine
+	// and no per-job channel operation.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < c.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				rows[i] = c.execute(runs[i])
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(runs) {
+					return
+				}
+				rows[i] = c.execute(runs[i], pc)
 				if c.Telemetry != nil {
 					c.Telemetry.RunsCompleted.Inc()
 				}
 			}
 		}()
 	}
-	for i := range runs {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 	return rows
 }

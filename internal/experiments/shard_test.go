@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"paralleltape/internal/model"
+	"paralleltape/internal/placement"
+	"paralleltape/internal/tape"
+)
+
+// sweepJSON renders the full sweep (every exhibit) to one JSON blob — the
+// byte-level identity carrier for the determinism tests.
+func sweepJSON(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	reps, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, rep := range reps {
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestSweepDeterminismAcrossShardsAndWorkers is the sweep-level half of
+// the determinism contract: the full Quick sweep's report JSON must be
+// byte-identical for every (Shards, Workers) combination — neither run
+// parallelism nor intra-run engine sharding may change a single byte of
+// any exhibit. Request count is reduced to keep the 6-sweep matrix inside
+// the test budget; every exhibit still runs.
+func TestSweepDeterminismAcrossShardsAndWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("6 full sweeps; skipped in -short")
+	}
+	cfg := Quick()
+	cfg.Requests = 8
+	cfg.Seeds = 1
+	shardCounts := []int{1, 2, 4}
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if raceEnabled {
+		// The race detector slows the sweep ~10x; one sharded+parallel
+		// combination against the serial baseline still crosses every
+		// goroutine boundary the full matrix does.
+		cfg.Requests = 4
+		shardCounts = []int{4}
+		workerCounts = []int{runtime.GOMAXPROCS(0)}
+	}
+
+	base := cfg
+	base.Shards = 1
+	base.Workers = 1
+	want := sweepJSON(t, base)
+
+	for _, shards := range shardCounts {
+		for _, workers := range workerCounts {
+			c := cfg
+			c.Shards = shards
+			c.Workers = workers
+			got := sweepJSON(t, c)
+			if !bytes.Equal(got, want) {
+				t.Errorf("sweep JSON diverges at shards=%d workers=%d (%d vs %d bytes)",
+					shards, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+// countingScheme wraps a placement scheme and counts Place invocations; it
+// is a comparable value, so the placement cache can key on it.
+type countingScheme struct {
+	placement.Scheme
+	calls *atomic.Int64
+}
+
+func (cs countingScheme) Place(w *model.Workload, hw tape.Hardware) (*placement.Result, error) {
+	cs.calls.Add(1)
+	return cs.Scheme.Place(w, hw)
+}
+
+// TestPlacementMemoized checks that runs sharing a (scheme, workload,
+// hardware) triple within one RunAll sweep compute the placement once and
+// still produce identical rows — the scheduler study's shape, where nine
+// policy points share one placement.
+func TestPlacementMemoized(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Requests = 5
+	w, err := cfg.baseWorkload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	scheme := countingScheme{Scheme: placement.ParallelBatch{M: cfg.M, K: cfg.K}, calls: &calls}
+	var runs []Run
+	for i := 0; i < 6; i++ {
+		runs = append(runs, Run{
+			Label:  fmt.Sprintf("point-%d", i),
+			Scheme: scheme,
+			W:      w,
+			HW:     cfg.HW,
+			X:      float64(i),
+		})
+	}
+	cfg.Workers = 4
+	rows := cfg.RunAll(runs)
+	if got := calls.Load(); got != 1 {
+		t.Errorf("Place called %d times for 6 identical runs, want 1", got)
+	}
+	for i, r := range rows {
+		if r.Err != nil {
+			t.Fatalf("row %d: %v", i, r.Err)
+		}
+		if r.Stats != rows[0].Stats {
+			t.Errorf("row %d stats diverge from row 0 despite identical runs", i)
+		}
+	}
+}
+
+// TestPlacementCacheDistinguishesKeys checks the cache does not conflate
+// distinct schemes or hardware: different keys recompute.
+func TestPlacementCacheDistinguishesKeys(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Requests = 5
+	w, err := cfg.baseWorkload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	hw2 := cfg.HW
+	hw2.DrivesPerLib++
+	runs := []Run{
+		{Label: "a", Scheme: countingScheme{Scheme: placement.ParallelBatch{M: 2, K: cfg.K}, calls: &calls}, W: w, HW: cfg.HW},
+		{Label: "b", Scheme: countingScheme{Scheme: placement.ParallelBatch{M: 3, K: cfg.K}, calls: &calls}, W: w, HW: cfg.HW},
+		{Label: "c", Scheme: countingScheme{Scheme: placement.ParallelBatch{M: 2, K: cfg.K}, calls: &calls}, W: w, HW: hw2},
+	}
+	rows := cfg.RunAll(runs)
+	for i, r := range rows {
+		if r.Err != nil {
+			t.Fatalf("row %d: %v", i, r.Err)
+		}
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("Place called %d times for 3 distinct keys, want 3", got)
+	}
+}

@@ -1,6 +1,7 @@
 package tapesys
 
 import (
+	"fmt"
 	"testing"
 
 	"paralleltape/internal/placement"
@@ -11,11 +12,12 @@ import (
 )
 
 // TestSubmitSteadyStateAllocBudget pins the submit path's allocation
-// contract: with no recorder attached and the per-system scratch warmed to
-// the workload's high-water mark, Submit performs (almost) no heap
-// allocations. The budget of 2 per request leaves slack for map-internal
-// rehashing in the mount table and similar runtime incidentals; the old
-// implementation sat above 200.
+// contract on the single-engine path (Shards 0 and 1 — both must stay on
+// the inline, goroutine-free code): with no recorder attached and the
+// per-system scratch warmed to the workload's high-water mark, Submit
+// performs (almost) no heap allocations. The budget of 2 per request
+// leaves slack for map-internal rehashing in the mount table and similar
+// runtime incidentals; the old implementation sat above 200.
 func TestSubmitSteadyStateAllocBudget(t *testing.T) {
 	hw := tape.DefaultHardware()
 	hw.Libraries = 2
@@ -42,33 +44,37 @@ func TestSubmitSteadyStateAllocBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(hw, pr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	stream, err := workload.NewRequestStream(w, rng.New(99))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Warm-up: grow the grouping arena, pending queues, event heap, and
-	// operation pools to this workload's high-water mark.
-	for i := 0; i < 50; i++ {
-		if _, err := s.Submit(stream.Next()); err != nil {
-			t.Fatal(err)
-		}
-	}
-	var submitErr error
-	allocs := testing.AllocsPerRun(100, func() {
-		if _, err := s.Submit(stream.Next()); err != nil {
-			submitErr = err
-		}
-	})
-	if submitErr != nil {
-		t.Fatal(submitErr)
-	}
-	const budget = 2
-	if allocs > budget {
-		t.Fatalf("Submit steady state allocates %.1f per request, budget %d", allocs, budget)
+	for _, shards := range []int{0, 1} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s, err := NewWithOptions(hw, pr, Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := workload.NewRequestStream(w, rng.New(99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm-up: grow the grouping arena, pending queues, event heap,
+			// and operation pools to this workload's high-water mark.
+			for i := 0; i < 50; i++ {
+				if _, err := s.Submit(stream.Next()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var submitErr error
+			allocs := testing.AllocsPerRun(100, func() {
+				if _, err := s.Submit(stream.Next()); err != nil {
+					submitErr = err
+				}
+			})
+			if submitErr != nil {
+				t.Fatal(submitErr)
+			}
+			const budget = 2
+			if allocs > budget {
+				t.Fatalf("Submit steady state allocates %.1f per request, budget %d", allocs, budget)
+			}
+		})
 	}
 }
 

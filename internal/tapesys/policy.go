@@ -68,11 +68,19 @@ func (p VictimPolicy) String() string {
 	}
 }
 
-// Options tunes simulator scheduling. The zero value is the paper's
-// behavior.
+// Options tunes simulator scheduling and execution. The zero value is the
+// paper's behavior on a single engine.
 type Options struct {
 	Pending PendingOrder
 	Victim  VictimPolicy
+
+	// Shards partitions the system's libraries into this many engine
+	// shards whose event loops run on separate goroutines within each
+	// Submit (see the package comment's sharded-execution section). 0 and
+	// 1 both select the single-engine path, which runs entirely on the
+	// calling goroutine with no synchronization; values above the library
+	// count are clamped. Results are byte-identical for every value.
+	Shards int
 }
 
 // Validate checks option sanity.
@@ -86,6 +94,9 @@ func (o Options) Validate() error {
 	case LeastPopular, MostPopular, DriveOrder:
 	default:
 		return fmt.Errorf("tapesys: unknown victim policy %d", int(o.Victim))
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("tapesys: negative shard count %d", o.Shards)
 	}
 	return nil
 }

@@ -16,12 +16,23 @@ import (
 // releases, latch completions) interleave with the tape-system spans in
 // one time-ordered stream.
 
-// SetRecorder attaches a trace recorder to the system and its engine; nil
-// disables tracing. With no recorder attached the simulation hot path
-// performs no tracing work at all.
+// SetRecorder attaches a trace recorder to the system and its shard
+// engines; nil disables tracing. With no recorder attached the simulation
+// hot path performs no tracing work at all. When the system runs more than
+// one shard the recorder is wrapped in a trace.Locked so concurrent shard
+// goroutines serialize into the one stream; events then stay deterministic
+// per shard, but the cross-shard interleaving depends on goroutine
+// scheduling (see docs/OBSERVABILITY.md).
 func (s *System) SetRecorder(r trace.Recorder) {
 	s.rec = r
-	s.eng.SetRecorder(r)
+	shared := r
+	if r != nil && len(s.shards) > 1 {
+		shared = trace.NewLocked(r)
+	}
+	for _, sh := range s.shards {
+		sh.rec = shared
+		sh.eng.SetRecorder(shared)
+	}
 }
 
 // EnableTrace starts in-memory event recording (keeping at most limit
@@ -35,14 +46,14 @@ func (s *System) EnableTrace(limit int) *trace.Buffer {
 // DisableTrace stops recording.
 func (s *System) DisableTrace() { s.SetRecorder(nil) }
 
-// emit stamps the event with the current simulated time and records it.
-// The nil check keeps the disabled path free of any tracing cost beyond
-// building the argument (a stack value — no allocation either way).
+// emit stamps the event with the current simulated time and records it
+// through the caller's recorder directly — valid only between requests,
+// when no shard goroutine is running and all shard clocks agree.
 func (s *System) emit(ev trace.Event) {
 	if s.rec == nil {
 		return
 	}
-	ev.T = s.eng.Now()
+	ev.T = s.Now()
 	s.rec.Record(ev)
 }
 
@@ -85,7 +96,7 @@ type RobotStats struct {
 
 // RobotReport returns per-library robot statistics.
 func (s *System) RobotReport() []RobotStats {
-	elapsed := s.eng.Now()
+	elapsed := s.Now()
 	var out []RobotStats
 	for _, l := range s.libs {
 		st := l.robot.Stats()
@@ -103,7 +114,7 @@ func (s *System) RobotReport() []RobotStats {
 
 // WriteUtilization renders drive and robot utilization tables.
 func (s *System) WriteUtilization(w io.Writer) error {
-	elapsed := s.eng.Now()
+	elapsed := s.Now()
 	if _, err := fmt.Fprintf(w, "simulated time: %.1fs\n\ndrive      busy%%  switch%%  mounts  moved\n", elapsed); err != nil {
 		return err
 	}
@@ -148,8 +159,10 @@ func (s *System) WriteUtilization(w io.Writer) error {
 // switchable like any offline tape. It fails if the system is mid-request
 // or the drive does not exist.
 func (s *System) FailDrive(library, drive int) error {
-	if s.eng.Pending() > 0 {
-		return fmt.Errorf("tapesys: cannot fail a drive mid-request")
+	for _, sh := range s.shards {
+		if sh.eng.Pending() > 0 {
+			return fmt.Errorf("tapesys: cannot fail a drive mid-request")
+		}
 	}
 	if library < 0 || library >= len(s.libs) {
 		return fmt.Errorf("tapesys: no library %d", library)

@@ -1,0 +1,217 @@
+package tapesys
+
+import (
+	"reflect"
+	"testing"
+
+	"paralleltape/internal/model"
+	"paralleltape/internal/placement"
+	"paralleltape/internal/rng"
+	"paralleltape/internal/tape"
+	"paralleltape/internal/trace"
+	"paralleltape/internal/units"
+	"paralleltape/internal/workload"
+)
+
+// shardTestWorkload builds a 4-library workload exercising mounted hits,
+// switches, and robot contention across all libraries.
+func shardTestWorkload(t *testing.T) (tape.Hardware, *model.Workload) {
+	t.Helper()
+	hw := tape.DefaultHardware()
+	hw.Libraries = 4
+	hw.DrivesPerLib = 3
+	hw.TapesPerLib = 10
+	hw.Capacity = 200 * units.MB
+	p := workload.Params{
+		NumObjects:  500,
+		NumRequests: 40,
+		MinObjSize:  1 * units.MB,
+		MaxObjSize:  8 * units.MB,
+		ObjShape:    1.1,
+		MinReqLen:   6,
+		MaxReqLen:   18,
+		ReqLenShape: 1,
+		Alpha:       0.3,
+	}
+	w, err := workload.Generate(p, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw, w
+}
+
+// shardedRun replays the same request sequence on a system with the given
+// shard count and returns everything observable: per-request metrics and
+// the final lifetime reports.
+type shardedRunResult struct {
+	metrics  []RequestMetrics
+	drives   []DriveStats
+	robots   []RobotStats
+	switches int
+	now      float64
+}
+
+func shardedRun(t *testing.T, hw tape.Hardware, w *model.Workload, shards int) shardedRunResult {
+	t.Helper()
+	pb := placement.ParallelBatch{M: 2}
+	pr, err := pb.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(hw, pr, Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.NewRequestStream(w, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res shardedRunResult
+	for i := 0; i < 60; i++ {
+		m, err := s.Submit(stream.Next())
+		if err != nil {
+			t.Fatalf("shards=%d request %d: %v", shards, i, err)
+		}
+		res.metrics = append(res.metrics, m)
+	}
+	res.drives = s.DriveReport()
+	res.robots = s.RobotReport()
+	res.switches = s.TotalSwitches()
+	res.now = s.Now()
+	return res
+}
+
+// TestShardedEquivalence is the simulator-level half of the determinism
+// contract: every per-request metric (all floating-point fields bit-exact,
+// not approximately equal) and every lifetime report must be identical for
+// any shard count, because the reduction order is fixed regardless of how
+// the event loops were scheduled.
+func TestShardedEquivalence(t *testing.T) {
+	hw, w := shardTestWorkload(t)
+	base := shardedRun(t, hw, w, 0)
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		got := shardedRun(t, hw, w, shards)
+		for i := range base.metrics {
+			if got.metrics[i] != base.metrics[i] {
+				t.Fatalf("shards=%d request %d metrics diverge:\n  base %+v\n  got  %+v",
+					shards, i, base.metrics[i], got.metrics[i])
+			}
+		}
+		if !reflect.DeepEqual(got.drives, base.drives) {
+			t.Fatalf("shards=%d drive report diverges", shards)
+		}
+		if !reflect.DeepEqual(got.robots, base.robots) {
+			t.Fatalf("shards=%d robot report diverges", shards)
+		}
+		if got.switches != base.switches {
+			t.Fatalf("shards=%d total switches %d, want %d", shards, got.switches, base.switches)
+		}
+		if got.now != base.now {
+			t.Fatalf("shards=%d clock %v, want %v", shards, got.now, base.now)
+		}
+	}
+}
+
+// TestShardedReset verifies Reset restores a sharded system exactly: two
+// passes over the same stream on one system produce identical metrics.
+func TestShardedReset(t *testing.T) {
+	hw, w := shardTestWorkload(t)
+	pb := placement.ParallelBatch{M: 2}
+	pr, err := pb.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(hw, pr, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := func() []RequestMetrics {
+		stream, err := workload.NewRequestStream(w, rng.New(23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []RequestMetrics
+		for i := 0; i < 30; i++ {
+			m, err := s.Submit(stream.Next())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, m)
+		}
+		return out
+	}
+	first := pass()
+	if err := s.Reset(pr); err != nil {
+		t.Fatal(err)
+	}
+	second := pass()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("request %d metrics differ after Reset:\n  %+v\n  %+v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestShardClamp checks the shard-count clamping and accessor: 0 and 1 are
+// the single-engine path, values above the library count clamp to it.
+func TestShardClamp(t *testing.T) {
+	hw, w := shardTestWorkload(t)
+	pb := placement.ParallelBatch{M: 2}
+	pr, err := pb.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ opt, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {4, 4}, {99, hw.Libraries},
+	} {
+		s, err := NewWithOptions(hw, pr, Options{Shards: tc.opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Shards(); got != tc.want {
+			t.Errorf("Shards option %d: got %d shards, want %d", tc.opt, got, tc.want)
+		}
+	}
+	if _, err := NewWithOptions(hw, pr, Options{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+// TestShardedTraceCounts runs a traced sharded simulation and checks the
+// stream carries exactly the events of the single-engine run, by kind —
+// cross-shard interleaving is scheduling-dependent, but the multiset of
+// events per (kind, lib, drive) must match.
+func TestShardedTraceCounts(t *testing.T) {
+	hw, w := shardTestWorkload(t)
+	pb := placement.ParallelBatch{M: 2}
+	pr, err := pb.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(shards int) map[trace.Kind]int {
+		s, err := NewWithOptions(hw, pr, Options{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := s.EnableTrace(0)
+		stream, err := workload.NewRequestStream(w, rng.New(23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 25; i++ {
+			if _, err := s.Submit(stream.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return trace.CountByKind(buf.Events)
+	}
+	single := run(1)
+	sharded := run(4)
+	// A zero-work shard still opens its latch, so latch-open counts grow
+	// with the shard count; every simulation-bearing kind must match.
+	delete(single, trace.KindLatchOpen)
+	delete(sharded, trace.KindLatchOpen)
+	if !reflect.DeepEqual(single, sharded) {
+		t.Fatalf("event counts diverge:\n  shards=1 %v\n  shards=4 %v", single, sharded)
+	}
+}

@@ -22,6 +22,21 @@
 // replacement policy of [11]: the eligible drive holding the least
 // accumulated probability switches first.
 //
+// # Sharded execution
+//
+// The libraries of one System are partitioned into shards (Options.Shards),
+// each owning its own sim.Engine, robot Resources, and scratch arenas. A
+// request's per-library operation chains are forked onto the shards, each
+// shard's event loop runs to local quiescence, and Submit joins at the
+// request boundary with a deterministic reduction: the completion time is
+// the maximum over shards, per-drive accounting merges in fixed (library,
+// drive) order, and every floating-point sum runs in the same order as the
+// single-engine path — so metrics, reports, and exhibit tables are
+// byte-identical for any shard count. Shards ≤ 1 (the default) runs the
+// single engine inline on the calling goroutine with no synchronization at
+// all; see docs/ARCHITECTURE.md for the contract and docs/PERFORMANCE.md
+// for when sharding pays.
+//
 // # Observability
 //
 // The simulator is fully instrumented: attach a trace.Recorder with
@@ -32,26 +47,32 @@
 // drive, tape, and request IDs. The schema is defined in internal/trace
 // and documented in docs/OBSERVABILITY.md; per-component timelines and
 // run reports are built from the stream by internal/metrics. With no
-// recorder attached tracing costs nothing on the hot path. Aggregate
-// per-drive and per-robot accounting (DriveReport, RobotReport,
-// WriteUtilization) is always on, trace or not.
+// recorder attached tracing costs nothing on the hot path. When the system
+// is sharded the recorder is automatically wrapped in a trace.Locked so
+// concurrent shard goroutines serialize into one stream; events then
+// remain deterministic per shard but their cross-shard interleaving is
+// scheduling-dependent. Aggregate per-drive and per-robot accounting
+// (DriveReport, RobotReport, WriteUtilization) is always on, trace or not.
 //
 // # Allocation model
 //
 // Submit is the simulator's hot path — a full experiment sweep issues
 // hundreds of thousands of requests — so all of its per-request state is
-// scratch owned by the System and reused across submissions (see
-// docs/PERFORMANCE.md): request grouping runs through a catalog.Grouper
-// arena, read planning through a tape.Planner, per-drive accounting is a
-// dense slice, pending queues and victim rankings reuse their backing
-// arrays, and the serve/switch continuations are pooled objects whose
-// closures are created once. In steady state (no recorder, scratch grown
-// to the workload's high-water mark) Submit performs no heap allocations.
+// scratch owned by the System and its shards and reused across submissions
+// (see docs/PERFORMANCE.md): request grouping runs through a catalog.Grouper
+// arena, read planning through a per-shard tape.Planner, per-drive
+// accounting is a dense slice, pending queues and victim rankings reuse
+// their backing arrays, and the serve/switch continuations are pooled
+// objects whose closures are created once. In steady state (no recorder,
+// scratch grown to the workload's high-water mark) the single-engine path
+// (Shards ≤ 1) performs no heap allocations; the sharded path additionally
+// spawns one goroutine per busy shard per request.
 package tapesys
 
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"paralleltape/internal/catalog"
 	"paralleltape/internal/model"
@@ -86,6 +107,7 @@ type drive struct {
 // library is the persistent state of one tape library.
 type library struct {
 	idx    int
+	sh     *shard // the shard whose engine runs this library's events
 	robot  *sim.Resource
 	drives []*drive
 	// byTape maps a mounted tape index to the drive holding it.
@@ -99,30 +121,69 @@ type mountedService struct {
 	g catalog.TapeGroup
 }
 
+// shard owns the event-driven half of a contiguous range of libraries: its
+// own engine (clock + event queue), the robots of its libraries, a read
+// planner, the request latch, and the serve/switch continuation pools.
+// During a request at most one goroutine runs a shard's event loop, so all
+// shard state is single-threaded; shards share nothing mutable except the
+// System's per-drive accounting slice, which they write at disjoint
+// indices. Between requests the shard clocks are synchronized to the
+// request completion time (the maximum over shards), so every shard's
+// events carry the same absolute timestamps the single-engine run would
+// produce.
+type shard struct {
+	sys  *System
+	idx  int
+	eng  *sim.Engine
+	libs []*library // contiguous subset of sys.libs, in library order
+	rec  trace.Recorder
+
+	// Per-request scratch.
+	planner tape.Planner
+	latch   *sim.Latch
+	latchFn func()
+	reqDone bool
+	groups  int // tape groups of the current request owned by this shard
+	// switches counts this request's tape switches on this shard; merged
+	// into RequestMetrics in fixed shard order at the join.
+	switches   int
+	servePool  []*serveOp
+	switchPool []*switchOp
+
+	// Lifetime accounting local to the shard, reduced in shard order.
+	totalSwitches int
+	totalBusy     float64 // diagnostic: summed seek+transfer seconds
+}
+
+// emit stamps the event with the shard's clock and records it. The nil
+// check keeps the disabled path free of any tracing cost.
+func (sh *shard) emit(ev trace.Event) {
+	if sh.rec == nil {
+		return
+	}
+	ev.T = sh.eng.Now()
+	sh.rec.Record(ev)
+}
+
 // System is a simulated parallel tape storage system. Create with New or
 // NewWithOptions, then Submit requests; state persists across submissions.
 type System struct {
-	hw   tape.Hardware
-	cat  *catalog.Catalog
-	prob map[tape.Key]float64
-	eng  *sim.Engine
-	libs []*library
-	opts Options
-	rec  trace.Recorder
+	hw     tape.Hardware
+	cat    *catalog.Catalog
+	prob   map[tape.Key]float64
+	libs   []*library
+	shards []*shard
+	opts   Options
+	rec    trace.Recorder // as attached by the caller (unwrapped)
 
-	totalSwitches int
-	totalBytes    int64
-	totalBusy     float64
+	totalBytes int64
 
-	// Reusable per-request scratch (see the package comment's allocation
-	// model). Submit runs one request to completion before returning and
-	// the engine is single-threaded, so exactly one request is in flight
-	// and its transient state can live on the System.
+	// Reusable per-request scratch for the single-threaded dispatch and
+	// reduction phases (see the package comment's allocation model).
+	// Submit runs one request to completion before returning, so exactly
+	// one request is in flight and its transient state can live on the
+	// System; the event-driven phase runs through the shards.
 	grouper    *catalog.Grouper
-	planner    tape.Planner
-	latch      *sim.Latch
-	latchFn    func()
-	reqDone    bool
 	curReq     int64
 	curMet     RequestMetrics
 	acct       []driveAcct           // dense, indexed by drive.gidx
@@ -131,12 +192,12 @@ type System struct {
 	mountedSvc []mountedService
 	eligible   []*drive
 	victimCmp  func(a, b *drive) int
-	servePool  []*serveOp
-	switchPool []*switchOp
+	wg         sync.WaitGroup
 }
 
 // New builds a system in the placement's initial state with the paper's
-// default scheduling (largest-pending-first, least-popular victims).
+// default scheduling (largest-pending-first, least-popular victims) on a
+// single engine.
 func New(hw tape.Hardware, pl *placement.Result) (*System, error) {
 	return NewWithOptions(hw, pl, Options{})
 }
@@ -154,13 +215,28 @@ func NewWithOptions(hw tape.Hardware, pl *placement.Result, opts Options) (*Syst
 	}
 	s := &System{
 		hw:   hw,
-		eng:  sim.NewEngine(),
 		opts: opts,
 	}
+	nshards := opts.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > hw.Libraries {
+		nshards = hw.Libraries
+	}
+	for i := 0; i < nshards; i++ {
+		sh := &shard{sys: s, idx: i, eng: sim.NewEngine()}
+		sh.latch = sim.NewLatch(0).Observe(sh.eng, "request")
+		sh.latchFn = func() { sh.reqDone = true }
+		s.shards = append(s.shards, sh)
+	}
 	for lib := 0; lib < hw.Libraries; lib++ {
+		// Contiguous partition: shard i owns libraries [i·n/k, (i+1)·n/k).
+		sh := s.shards[lib*nshards/hw.Libraries]
 		l := &library{
 			idx:    lib,
-			robot:  sim.NewResource(s.eng, fmt.Sprintf("robot-%d", lib)),
+			sh:     sh,
+			robot:  sim.NewResource(sh.eng, fmt.Sprintf("robot-%d", lib)),
 			byTape: make(map[int]*drive),
 		}
 		for d := 0; d < hw.DrivesPerLib; d++ {
@@ -168,12 +244,11 @@ func NewWithOptions(hw tape.Hardware, pl *placement.Result, opts Options) (*Syst
 			l.drives = append(l.drives, dr)
 		}
 		s.libs = append(s.libs, l)
+		sh.libs = append(sh.libs, l)
 	}
 	s.acct = make([]driveAcct, hw.Libraries*hw.DrivesPerLib)
 	s.pending = make([][]catalog.TapeGroup, hw.Libraries)
 	s.pendHead = make([]int, hw.Libraries)
-	s.latch = sim.NewLatch(0).Observe(s.eng, "request")
-	s.latchFn = func() { s.reqDone = true }
 	// victimLess is a total order (ties break on the unique drive index),
 	// so the unstable sort ranks victims deterministically. The comparator
 	// is created once so the per-request sort allocates nothing.
@@ -191,6 +266,10 @@ func NewWithOptions(hw tape.Hardware, pl *placement.Result, opts Options) (*Syst
 	}
 	return s, nil
 }
+
+// Shards returns the number of engine shards the system runs on (1 for the
+// single-engine configuration).
+func (s *System) Shards() int { return len(s.shards) }
 
 // validatePlacementShape checks a placement against the hardware geometry.
 func validatePlacementShape(hw tape.Hardware, pl *placement.Result) error {
@@ -232,9 +311,9 @@ func (s *System) applyPlacement(pl *placement.Result) error {
 	return nil
 }
 
-// Reset restores the system to placement pl's initial state — fresh clock,
-// empty event queue, initial mounts, zeroed accounting — while reusing all
-// engine and scratch allocations (event heap, grouping arena, operation
+// Reset restores the system to placement pl's initial state — fresh clocks,
+// empty event queues, initial mounts, zeroed accounting — while reusing all
+// engine and scratch allocations (event heaps, grouping arena, operation
 // pools). The recorder attachment survives. It is the cheap way to run a
 // sequence of independent simulations (e.g. one per seed) on identical
 // hardware: only the placement may change, and its shape must match the
@@ -243,13 +322,15 @@ func (s *System) Reset(pl *placement.Result) error {
 	if err := validatePlacementShape(s.hw, pl); err != nil {
 		return err
 	}
-	s.eng.Reset()
+	for _, sh := range s.shards {
+		sh.eng.Reset()
+		sh.totalSwitches = 0
+		sh.totalBusy = 0
+	}
 	for _, l := range s.libs {
 		l.robot.Reset()
 	}
-	s.totalSwitches = 0
 	s.totalBytes = 0
-	s.totalBusy = 0
 	return s.applyPlacement(pl)
 }
 
@@ -293,51 +374,51 @@ type driveAcct struct {
 // closure is created once per pool entry so scheduling a service performs
 // no allocation.
 type serveOp struct {
-	s    *System
+	sh   *shard
 	d    *drive
 	g    catalog.TapeGroup
 	plan tape.ReadPlan
 	fn   func()
 }
 
-func (s *System) getServeOp() *serveOp {
-	if n := len(s.servePool); n > 0 {
-		op := s.servePool[n-1]
-		s.servePool[n-1] = nil
-		s.servePool = s.servePool[:n-1]
+func (sh *shard) getServeOp() *serveOp {
+	if n := len(sh.servePool); n > 0 {
+		op := sh.servePool[n-1]
+		sh.servePool[n-1] = nil
+		sh.servePool = sh.servePool[:n-1]
 		return op
 	}
-	op := &serveOp{s: s}
+	op := &serveOp{sh: sh}
 	op.fn = op.finish
 	return op
 }
 
-func (s *System) putServeOp(op *serveOp) {
+func (sh *shard) putServeOp(op *serveOp) {
 	op.d = nil
 	op.g = catalog.TapeGroup{}
 	op.plan = tape.ReadPlan{}
-	s.servePool = append(s.servePool, op)
+	sh.servePool = append(sh.servePool, op)
 }
 
 // finish is the service-completion event: account the seek/transfer work,
 // free the drive, and let it pick up pending switch work.
 func (op *serveOp) finish() {
-	s, d, g, plan := op.s, op.d, op.g, op.plan
-	s.putServeOp(op)
+	sh, d, g, plan := op.sh, op.d, op.g, op.plan
+	sh.putServeOp(op)
 	d.headPos = plan.EndPos
-	a := &s.acct[d.gidx]
+	a := &sh.sys.acct[d.gidx]
 	a.used = true
 	a.seek += plan.SeekTotal
 	a.xfer += plan.XferTotal
 	a.moved += g.Bytes
-	a.finish = s.eng.Now()
-	s.totalBusy += plan.SeekTotal + plan.XferTotal
+	a.finish = sh.eng.Now()
+	sh.totalBusy += plan.SeekTotal + plan.XferTotal
 	d.busySeconds += plan.SeekTotal + plan.XferTotal
 	d.bytesMoved += g.Bytes
-	s.emit(trace.Event{Kind: trace.KindServeEnd, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-		Req: s.curReq, Bytes: g.Bytes, Dur: plan.SeekTotal + plan.XferTotal})
-	s.latch.Done()
-	s.afterService(d)
+	sh.emit(trace.Event{Kind: trace.KindServeEnd, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+		Req: sh.sys.curReq, Bytes: g.Bytes, Dur: plan.SeekTotal + plan.XferTotal})
+	sh.latch.Done()
+	sh.afterService(d)
 }
 
 // switchOp is the pooled continuation chain of one tape switch. Its four
@@ -345,7 +426,7 @@ func (op *serveOp) finish() {
 // created once per pool entry; the op carries the drive/group state across
 // the stages.
 type switchOp struct {
-	s           *System
+	sh          *shard
 	d           *drive
 	l           *library
 	g           catalog.TapeGroup
@@ -359,14 +440,14 @@ type switchOp struct {
 	afterLoadFn func()
 }
 
-func (s *System) getSwitchOp() *switchOp {
-	if n := len(s.switchPool); n > 0 {
-		op := s.switchPool[n-1]
-		s.switchPool[n-1] = nil
-		s.switchPool = s.switchPool[:n-1]
+func (sh *shard) getSwitchOp() *switchOp {
+	if n := len(sh.switchPool); n > 0 {
+		op := sh.switchPool[n-1]
+		sh.switchPool[n-1] = nil
+		sh.switchPool = sh.switchPool[:n-1]
 		return op
 	}
-	op := &switchOp{s: s}
+	op := &switchOp{sh: sh}
 	op.afterPrepFn = op.afterPrep
 	op.onGrantFn = op.onGrant
 	op.afterMoveFn = op.afterMove
@@ -374,12 +455,12 @@ func (s *System) getSwitchOp() *switchOp {
 	return op
 }
 
-func (s *System) putSwitchOp(op *switchOp) {
+func (sh *shard) putSwitchOp(op *switchOp) {
 	op.d = nil
 	op.l = nil
 	op.g = catalog.TapeGroup{}
 	op.grant = nil
-	s.switchPool = append(s.switchPool, op)
+	sh.switchPool = append(sh.switchPool, op)
 }
 
 // afterPrep runs once the outgoing cartridge has rewound and unloaded (or
@@ -397,79 +478,81 @@ func (op *switchOp) afterPrep() {
 
 // onGrant runs holding the robot: perform the cell moves.
 func (op *switchOp) onGrant(grant *sim.Grant) {
-	s, d := op.s, op.d
+	sh, d := op.sh, op.d
 	op.grant = grant
-	move := s.hw.CellToDrive // fetch the target cartridge
+	move := sh.sys.hw.CellToDrive // fetch the target cartridge
 	if op.hadTape {
-		move += s.hw.CellToDrive // first stow the old one
+		move += sh.sys.hw.CellToDrive // first stow the old one
 	}
-	s.emit(trace.Event{Kind: trace.KindRobot, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
-		Req: s.curReq, Dur: move})
-	s.eng.Schedule(move, op.afterMoveFn)
+	sh.emit(trace.Event{Kind: trace.KindRobot, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
+		Req: sh.sys.curReq, Dur: move})
+	sh.eng.Schedule(move, op.afterMoveFn)
 }
 
 // afterMove runs when the robot finishes: release it and start load+thread.
 func (op *switchOp) afterMove() {
-	s, d := op.s, op.d
+	sh, d := op.sh, op.d
 	op.grant.Release()
-	s.emit(trace.Event{Kind: trace.KindLoad, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
-		Req: s.curReq, Dur: s.hw.LoadThread})
-	s.eng.Schedule(s.hw.LoadThread, op.afterLoadFn)
+	sh.emit(trace.Event{Kind: trace.KindLoad, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
+		Req: sh.sys.curReq, Dur: sh.sys.hw.LoadThread})
+	sh.eng.Schedule(sh.sys.hw.LoadThread, op.afterLoadFn)
 }
 
 // afterLoad completes the mount and serves the group.
 func (op *switchOp) afterLoad() {
-	s, d, l, g := op.s, op.d, op.l, op.g
+	sh, d, l, g := op.sh, op.d, op.l, op.g
 	switchBegin := op.switchBegin
-	s.putSwitchOp(op)
+	sh.putSwitchOp(op)
 	d.mounted = g.Tape.Index
 	d.headPos = 0
 	d.mounts++
-	d.switchSeconds += s.eng.Now() - switchBegin
+	d.switchSeconds += sh.eng.Now() - switchBegin
 	l.byTape[g.Tape.Index] = d
-	s.emit(trace.Event{Kind: trace.KindMounted, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-		Req: s.curReq, Dur: s.eng.Now() - switchBegin})
-	s.serve(d, g)
+	sh.emit(trace.Event{Kind: trace.KindMounted, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+		Req: sh.sys.curReq, Dur: sh.eng.Now() - switchBegin})
+	sh.serve(d, g)
 }
 
 // serve schedules the seek+transfer span for group g on drive d.
-func (s *System) serve(d *drive, g catalog.TapeGroup) {
-	op := s.getServeOp()
+func (sh *shard) serve(d *drive, g catalog.TapeGroup) {
+	op := sh.getServeOp()
 	op.d = d
 	op.g = g
-	op.plan = s.planner.Plan(s.hw, d.headPos, g.Extents)
-	if s.rec != nil {
-		s.emit(trace.Event{Kind: trace.KindServeStart, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-			Req: s.curReq, Bytes: g.Bytes})
-		s.emit(trace.Event{Kind: trace.KindSeek, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-			Req: s.curReq, Dur: op.plan.SeekTotal})
-		s.emit(trace.Event{Kind: trace.KindTransfer, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-			Req: s.curReq, Bytes: g.Bytes, Dur: op.plan.XferTotal})
+	op.plan = sh.planner.Plan(sh.sys.hw, d.headPos, g.Extents)
+	if sh.rec != nil {
+		sh.emit(trace.Event{Kind: trace.KindServeStart, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+			Req: sh.sys.curReq, Bytes: g.Bytes})
+		sh.emit(trace.Event{Kind: trace.KindSeek, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+			Req: sh.sys.curReq, Dur: op.plan.SeekTotal})
+		sh.emit(trace.Event{Kind: trace.KindTransfer, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
+			Req: sh.sys.curReq, Bytes: g.Bytes, Dur: op.plan.XferTotal})
 	}
-	s.eng.Schedule(op.plan.SeekTotal+op.plan.XferTotal, op.fn)
+	sh.eng.Schedule(op.plan.SeekTotal+op.plan.XferTotal, op.fn)
 }
 
 // startSwitch begins the rewind → robot → load pipeline moving drive d to
 // the cartridge of group g.
-func (s *System) startSwitch(d *drive, g catalog.TapeGroup) {
-	s.curMet.Switches++
-	s.totalSwitches++
-	op := s.getSwitchOp()
+func (sh *shard) startSwitch(d *drive, g catalog.TapeGroup) {
+	sh.switches++
+	sh.totalSwitches++
+	op := sh.getSwitchOp()
 	op.d = d
-	op.l = s.libs[d.lib]
+	op.l = sh.sys.libs[d.lib]
 	op.g = g
-	op.switchBegin = s.eng.Now()
+	op.switchBegin = sh.eng.Now()
 	prep := 0.0
 	if d.mounted >= 0 {
-		prep = s.hw.RewindTime(d.headPos) + s.hw.Unload
-		s.emit(trace.Event{Kind: trace.KindRewind, Lib: d.lib, Drive: d.idx, Tape: d.mounted,
-			Req: s.curReq, Dur: prep})
+		prep = sh.sys.hw.RewindTime(d.headPos) + sh.sys.hw.Unload
+		sh.emit(trace.Event{Kind: trace.KindRewind, Lib: d.lib, Drive: d.idx, Tape: d.mounted,
+			Req: sh.sys.curReq, Dur: prep})
 	}
-	s.eng.Schedule(prep, op.afterPrepFn)
+	sh.eng.Schedule(prep, op.afterPrepFn)
 }
 
-// takePending pops the next offline group for a library.
-func (s *System) takePending(lib int) (catalog.TapeGroup, bool) {
+// takePending pops the next offline group for a library. Only the shard
+// owning the library consumes its queue, so the cursor needs no locking.
+func (sh *shard) takePending(lib int) (catalog.TapeGroup, bool) {
+	s := sh.sys
 	if s.pendHead[lib] >= len(s.pending[lib]) {
 		return catalog.TapeGroup{}, false
 	}
@@ -479,36 +562,62 @@ func (s *System) takePending(lib int) (catalog.TapeGroup, bool) {
 }
 
 // afterService decides a drive's next move once it finishes a tape.
-func (s *System) afterService(d *drive) {
+func (sh *shard) afterService(d *drive) {
 	if d.pinned {
 		return
 	}
-	if g, ok := s.takePending(d.lib); ok {
-		s.startSwitch(d, g)
+	if g, ok := sh.takePending(d.lib); ok {
+		sh.startSwitch(d, g)
 	}
 }
 
-// Submit executes one request to completion and returns its metrics. The
-// engine runs until the system is idle again (the paper's zero-queueing
-// assumption). All transient state lives in System-owned scratch; see the
-// package comment's allocation model.
+// beginRequest resets the shard's per-request state.
+func (sh *shard) beginRequest() {
+	sh.groups = 0
+	sh.switches = 0
+	sh.reqDone = false
+}
+
+// emitAt records a system-level event stamped with time t. Submit calls it
+// only from the dispatch and reduction phases, when no shard goroutine is
+// running, so the caller's recorder is used directly.
+func (s *System) emitAt(ev trace.Event, t float64) {
+	if s.rec == nil {
+		return
+	}
+	ev.T = t
+	s.rec.Record(ev)
+}
+
+// Submit executes one request to completion and returns its metrics. Each
+// shard's engine runs until the system is idle again (the paper's
+// zero-queueing assumption): dispatch is synchronous on the calling
+// goroutine, then each busy shard's event loop runs — inline for a single
+// shard, on forked goroutines otherwise — and the join reduces the shard
+// results deterministically (completion time = max over shards, counters
+// and floating-point sums in fixed library order). All transient state
+// lives in System- and shard-owned scratch; see the package comment's
+// allocation model.
 func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	groups, err := s.grouper.Group(r)
 	if err != nil {
 		return RequestMetrics{}, err
 	}
-	t0 := s.eng.Now()
+	// Shard clocks are synchronized at every request boundary, so any
+	// shard's clock is the submission instant.
+	t0 := s.shards[0].eng.Now()
 	s.curReq = int64(r.ID)
 	s.curMet = RequestMetrics{Request: r.ID, TapesTouched: len(groups)}
 	met := &s.curMet
-	s.emit(trace.Event{Kind: trace.KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: s.curReq})
+	s.emitAt(trace.Event{Kind: trace.KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: s.curReq}, t0)
 
 	for i := range s.acct {
 		s.acct[i] = driveAcct{}
 	}
 	robotWait0 := s.robotWaitTotal()
-
-	s.latch.Reset(len(groups))
+	for _, sh := range s.shards {
+		sh.beginRequest()
+	}
 
 	// Per-library pending queues of offline tape groups, largest first so
 	// long transfers start earliest (LPT ordering keeps the makespan low).
@@ -521,6 +630,7 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	for _, g := range groups {
 		met.Bytes += g.Bytes
 		l := s.libs[g.Tape.Library]
+		l.sh.groups++
 		if d, ok := l.byTape[g.Tape.Index]; ok {
 			mounted = append(mounted, mountedService{d: d, g: g})
 			mountedBytes += g.Bytes
@@ -534,6 +644,9 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	}
 	if met.Bytes > 0 {
 		met.MountedRatio = float64(mountedBytes) / float64(met.Bytes)
+	}
+	for _, sh := range s.shards {
+		sh.latch.Reset(sh.groups)
 	}
 
 	// Phase 1: drives whose mounted tape holds requested objects are
@@ -562,13 +675,14 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 		}
 		s.eligible = eligible
 		slices.SortFunc(eligible, s.victimCmp)
+		sh := s.libs[lib].sh
 		for _, d := range eligible {
-			g, ok := s.takePending(lib)
+			g, ok := sh.takePending(lib)
 			if !ok {
 				break
 			}
 			d.claimed = true
-			s.startSwitch(d, g)
+			sh.startSwitch(d, g)
 		}
 		if s.pendHead[lib] < len(s.pending[lib]) {
 			// Remaining groups wait for serving drives to free up; require
@@ -590,21 +704,66 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	// Kick off mounted services after switch dispatch so the claimed marks
 	// were complete; simulated start time is identical (same instant).
 	for _, ms := range mounted {
-		s.serve(ms.d, ms.g)
+		s.libs[ms.d.lib].sh.serve(ms.d, ms.g)
 	}
 
-	s.reqDone = false
-	s.latch.Wait(s.latchFn)
-	s.eng.Run()
-	if !s.reqDone {
-		return RequestMetrics{}, fmt.Errorf("tapesys: request %d did not complete (%d groups outstanding)",
-			r.ID, s.latch.Remaining())
+	// Arm the request latches and run each busy shard's event loop to
+	// quiescence. A latch armed at zero fires synchronously, so shards
+	// without work complete here.
+	for _, sh := range s.shards {
+		sh.latch.Wait(sh.latchFn)
+	}
+	if len(s.shards) == 1 {
+		s.shards[0].eng.Run()
+	} else {
+		// Fork: run the first busy shard inline on the caller, the rest on
+		// goroutines; join before touching any shared state again.
+		inline := -1
+		for i, sh := range s.shards {
+			if sh.eng.Pending() == 0 {
+				continue
+			}
+			if inline < 0 {
+				inline = i
+				continue
+			}
+			s.wg.Add(1)
+			go func(sh *shard) {
+				defer s.wg.Done()
+				sh.eng.Run()
+			}(sh)
+		}
+		if inline >= 0 {
+			s.shards[inline].eng.Run()
+		}
+		s.wg.Wait()
+	}
+
+	// Join: the request completes at the latest shard-local instant;
+	// advance every shard clock to it so the next request (and all
+	// persistent accounting) sees one global time base, exactly as the
+	// single-engine run would.
+	end := t0
+	for _, sh := range s.shards {
+		if n := sh.eng.Now(); n > end {
+			end = n
+		}
+	}
+	for _, sh := range s.shards {
+		sh.eng.RunUntil(end) // queue already drained: clock sync only
+	}
+	for _, sh := range s.shards {
+		if !sh.reqDone {
+			return RequestMetrics{}, fmt.Errorf("tapesys: request %d did not complete (%d groups outstanding)",
+				r.ID, sh.latch.Remaining())
+		}
+		met.Switches += sh.switches
 	}
 
 	// §6 metrics: response from the last-finishing drive.
-	met.Response = s.eng.Now() - t0
-	s.emit(trace.Event{Kind: trace.KindComplete, Lib: -1, Drive: -1, Tape: -1,
-		Req: s.curReq, Bytes: met.Bytes, Dur: met.Response})
+	met.Response = end - t0
+	s.emitAt(trace.Event{Kind: trace.KindComplete, Lib: -1, Drive: -1, Tape: -1,
+		Req: s.curReq, Bytes: met.Bytes, Dur: met.Response}, end)
 	var last *driveAcct
 	for i := range s.acct {
 		a := &s.acct[i]
@@ -650,11 +809,27 @@ func (s *System) robotWaitTotal() float64 {
 	return total
 }
 
-// Now returns the current simulated time.
-func (s *System) Now() float64 { return s.eng.Now() }
+// Now returns the current simulated time (the maximum over shard clocks;
+// between requests all shards agree).
+func (s *System) Now() float64 {
+	now := 0.0
+	for _, sh := range s.shards {
+		if n := sh.eng.Now(); n > now {
+			now = n
+		}
+	}
+	return now
+}
 
-// TotalSwitches returns the switch count over the system's lifetime.
-func (s *System) TotalSwitches() int { return s.totalSwitches }
+// TotalSwitches returns the switch count over the system's lifetime,
+// reduced over shards in fixed order.
+func (s *System) TotalSwitches() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.totalSwitches
+	}
+	return n
+}
 
 // MountedTapes returns, per library, the sorted tape indices currently
 // mounted (diagnostic).

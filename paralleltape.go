@@ -83,7 +83,8 @@ type (
 	// ExperimentReport is one regenerated table/figure.
 	ExperimentReport = experiments.Report
 	// SimOptions tunes simulator scheduling (pending order, victim
-	// policy); the zero value is the paper's behavior.
+	// policy) and execution (engine shards); the zero value is the
+	// paper's behavior on a single engine.
 	SimOptions = tapesys.Options
 	// AnalyticModel derives closed-form response estimates from a
 	// placement without simulating.
