@@ -1,5 +1,5 @@
 # Developer entry points. `make check` is the verification gate run before
-# every commit: build + vet + race-enabled tests + the trace-schema doc lint.
+# every commit: build + vet + race-enabled tests + the doc lints.
 
 GO ?= go
 
@@ -17,16 +17,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# lint fails if an exported identifier in internal/trace lacks a doc
-# comment — the trace schema is a documented contract (docs/OBSERVABILITY.md).
+# lint fails if an exported identifier in internal/trace or
+# internal/faults lacks a doc comment — the trace schema and the fault
+# models are documented contracts (docs/OBSERVABILITY.md,
+# docs/RESILIENCE.md).
 lint:
-	$(GO) test ./internal/trace -run TestExportedIdentifiersHaveDocComments -count=1
+	$(GO) test ./internal/trace ./internal/faults -run TestExportedIdentifiersHaveDocComments -count=1
 
 # bench runs the paper-exhibit benchmarks at reduced scale.
 bench:
 	$(GO) test -bench=. -benchmem
 
-# golden regenerates the byte-stable JSONL trace golden file after an
-# intentional schema change (update docs/OBSERVABILITY.md alongside).
+# golden regenerates the byte-stable JSONL trace golden files (healthy
+# and degraded) after an intentional schema change (update
+# docs/OBSERVABILITY.md / docs/RESILIENCE.md alongside).
 golden:
 	UPDATE_GOLDEN=1 $(GO) test ./internal/tapesys -run Golden -count=1

@@ -38,7 +38,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which exhibit to regenerate: all, table1, fig5, fig6, fig7, fig8, fig9, tech, robustness, ablation, striping, online, scheduler, sensitivity")
+			"which exhibit to regenerate: all, table1, fig5, fig6, fig7, fig8, fig9, tech, robustness, ablation, striping, online, scheduler, sensitivity, chaos")
 		quick    = flag.Bool("quick", false, "reduced-scale configuration (fast)")
 		seed     = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
 		requests = flag.Int("requests", 0, "override simulated requests per run (0 keeps the default)")
@@ -56,6 +56,12 @@ func main() {
 			"regression-gate mode: compare this baseline bench-result document against the one given as a positional argument (tapebench -compare old.json new.json), exit non-zero on regression")
 		compareNsTol = flag.Float64("compare-ns-tolerance", 40,
 			"-compare: allowed ns/op growth in percent (allocs/op gets a fixed 0.1% slack, bandwidth is always exact)")
+		faultsOn = flag.Bool("faults", false,
+			"inject stochastic faults into every run of the selected exhibit (-mtbf, -timeout; docs/RESILIENCE.md); the chaos exhibit keeps its own per-point profiles")
+		mtbf = flag.Float64("mtbf", 40000,
+			"per-drive mean time between failures in simulated seconds (with -faults); robots get 10x")
+		timeout = flag.Float64("timeout", 0,
+			"per-request deadline in simulated seconds (0 = none); timed-out requests report partial results")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the life of the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -137,6 +143,17 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.Shards = *shards
+	if *faultsOn {
+		cfg.Faults = &paralleltape.FaultProfile{
+			Seed:              cfg.Seed ^ 0xFA17,
+			DriveMTBF:         *mtbf,
+			DriveRepair:       paralleltape.Exponential{Mean: 600},
+			RobotMTBF:         10 * *mtbf,
+			RobotRepair:       paralleltape.Exponential{Mean: 300},
+			MediaErrorPerRead: 0.002,
+		}
+	}
+	cfg.RequestTimeout = *timeout
 
 	// Live telemetry: one collector shared by every run in the sweep. The
 	// experiment runner raises the run/request targets and streams events

@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"paralleltape"
+	"paralleltape/internal/dist"
+	"paralleltape/internal/faults"
 	"paralleltape/internal/metrics"
 	"paralleltape/internal/model"
 	"paralleltape/internal/placement"
@@ -65,6 +67,15 @@ type options struct {
 	describe    bool
 	events      int
 
+	// Fault-injection knobs (docs/RESILIENCE.md).
+	faults     bool
+	mtbf       float64
+	repair     float64
+	mediaError float64
+	faultSeed  uint64
+	timeout    float64
+	backoff    float64
+
 	// Test hooks (not flags): notifyServe receives the bound telemetry
 	// address once the server is up; midRun fires once after half the
 	// requests have been submitted. Both are nil outside tests.
@@ -102,6 +113,20 @@ func main() {
 	flag.BoolVar(&o.describe, "describe", false, "print placement diagnostics before simulating")
 	flag.BoolVar(&o.estimate, "estimate", false, "print the analytic (no-simulation) estimate alongside")
 	flag.IntVar(&o.events, "events", 0, "print the first N simulator events")
+	flag.BoolVar(&o.faults, "faults", false,
+		"enable stochastic fault injection: drive/robot failures from -mtbf, media errors from -media-error (docs/RESILIENCE.md)")
+	flag.Float64Var(&o.mtbf, "mtbf", 40000,
+		"per-drive mean time between failures in simulated seconds; robots get 10x (with -faults)")
+	flag.Float64Var(&o.repair, "repair", 600,
+		"mean drive repair time in simulated seconds; robots repair in half (with -faults)")
+	flag.Float64Var(&o.mediaError, "media-error", 0.002,
+		"permanent media-error probability per tape-group read (with -faults)")
+	flag.Uint64Var(&o.faultSeed, "fault-seed", 0,
+		"fault-injection seed (0 = derive from -seed); same seed + config = byte-identical degraded run")
+	flag.Float64Var(&o.timeout, "timeout", 0,
+		"per-request timeout in simulated seconds (0 = none); timed-out requests report partial results")
+	flag.Float64Var(&o.backoff, "retry-backoff", 30,
+		"delay in simulated seconds before an interrupted operation is retried on a surviving drive")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -238,7 +263,24 @@ func run(o options) error {
 		fmt.Println()
 	}
 
-	sys, err := tapesys.NewWithOptions(hw, pl, tapesys.Options{Shards: o.shards})
+	opts := tapesys.Options{Shards: o.shards, RequestTimeout: o.timeout, RetryBackoff: o.backoff}
+	if o.faults {
+		fseed := o.faultSeed
+		if fseed == 0 {
+			fseed = o.seed ^ 0xFA17
+		}
+		opts.Faults = &faults.Profile{
+			Seed:              fseed,
+			DriveMTBF:         o.mtbf,
+			DriveRepair:       dist.Exponential{Mean: o.repair},
+			RobotMTBF:         10 * o.mtbf,
+			RobotRepair:       dist.Exponential{Mean: o.repair / 2},
+			MediaErrorPerRead: o.mediaError,
+		}
+		fmt.Printf("faults:   drive MTBF %.0fs (repair %.0fs), robot MTBF %.0fs, media error %.2g/read, seed %d\n",
+			o.mtbf, o.repair, 10*o.mtbf, o.mediaError, fseed)
+	}
+	sys, err := tapesys.NewWithOptions(hw, pl, opts)
 	if err != nil {
 		return err
 	}
@@ -329,6 +371,14 @@ func run(o options) error {
 		fmt.Printf("avg tapes per request     %.2f\n", agg.MeanTapes)
 		fmt.Printf("avg drives per request    %.2f\n", agg.MeanDrivesUsed)
 		fmt.Printf("p95 response time         %s\n", units.FormatSeconds(agg.Response.P95))
+		if o.faults || o.timeout > 0 {
+			fmt.Printf("availability              %.2f%% (%s delivered)\n",
+				100*agg.Availability, units.FormatBytesSI(agg.BytesServed))
+			fmt.Printf("goodput                   %s\n", units.FormatRate(agg.MeanGoodput))
+			fmt.Printf("retries                   %.2f/request (%d groups failed, %d media errors)\n",
+				agg.MeanRetries, agg.FailedGroups, agg.MediaErrors)
+			fmt.Printf("requests timed out        %d\n", agg.TimedOut)
+		}
 	}
 	if o.estimate {
 		mod, err := paralleltape.NewAnalyticModel(hw, pl)

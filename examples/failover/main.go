@@ -1,11 +1,15 @@
 // Degraded operations: tape drives fail in the field, and an operator
-// wants to know how restore times degrade as drives drop out — and whether
-// the placement still functions at all (the always-mounted batch loses its
-// pins when its drives die).
+// wants to know how a day of restores degrades as hardware drops out —
+// how much payload still arrives on time, how much recovery work the
+// surviving drives absorb, and whether anything is lost outright.
 //
-// This example runs one parallel-batch system through a day of restores
-// while drives fail one by one, printing the response-time trend and the
-// final drive/robot utilization table.
+// This example runs one parallel-batch system through 60 restores with
+// stochastic fault injection active (drive and robot failures, media
+// errors — see docs/RESILIENCE.md) and a per-request deadline. Midway it
+// also kills a drive permanently with the manual FailDrive API: unlike
+// injected failures, manual ones are never repaired, and the system
+// degrades to partial results instead of erroring. The output is the
+// phase-by-phase trend plus the session's availability accounting.
 //
 //	go run ./examples/failover
 package main
@@ -13,7 +17,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"os"
 
 	"paralleltape"
 )
@@ -42,67 +45,78 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := paralleltape.NewSystem(hw, pl)
+
+	// The fault profile is the whole resilience configuration: drives
+	// fail about every two simulated hours and take ~15 minutes to
+	// repair, the robots are an order of magnitude more reliable, and
+	// one read in a thousand hits a permanent media error. Every draw
+	// derives from Seed, so this run is exactly reproducible.
+	sys, err := paralleltape.NewSystemWithOptions(hw, pl, paralleltape.SimOptions{
+		Faults: &paralleltape.FaultProfile{
+			Seed:              7,
+			DriveMTBF:         7200,
+			DriveRepair:       paralleltape.Exponential{Mean: 900},
+			RobotMTBF:         72000,
+			RobotRepair:       paralleltape.Exponential{Mean: 300},
+			MediaErrorPerRead: 0.001,
+		},
+		RequestTimeout: 3600, // an hour per restore, then the client gives up
+		RetryBackoff:   30,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Drives fail after every 15 restores: first a switch drive, then a
-	// pinned drive (whose always-mounted tape goes back to its cell), then
-	// another switch drive in the second library.
-	failures := map[int][2]int{15: {0, 3}, 30: {0, 0}, 45: {1, 2}}
-
-	fmt.Printf("restore workload: %d objects, %s total; %d drives across %d libraries\n\n",
+	fmt.Printf("restore workload: %d objects, %s total; %d drives across %d libraries\n",
 		w.NumObjects(), paralleltape.FormatBytes(w.TotalObjectBytes()),
 		hw.DrivesPerLib*hw.Libraries, hw.Libraries)
-	fmt.Printf("%-10s %8s %16s %14s\n", "phase", "failed", "mean response", "bandwidth")
+	fmt.Printf("faults: drive MTBF 2h (repair ~15m), robot MTBF 20h, media error 1e-3/read, 1h deadline\n\n")
+	fmt.Printf("%-9s %6s %14s %12s %8s %9s %6s\n",
+		"restores", "failed", "mean response", "goodput", "avail%", "retries", "late")
 
-	var sum float64
-	var bytes int64
-	count := 0
-	phaseStart := 0
-	flush := func(i int) {
-		if count == 0 {
-			return
-		}
-		mean := sum / float64(count)
-		bw := float64(bytes) / sum
-		fmt.Printf("%3d..%-5d %8d %16s %14s\n", phaseStart, i-1, sys.FailedDrives(),
-			paralleltape.FormatSeconds(mean), paralleltape.FormatRate(bw))
-		sum, bytes, count, phaseStart = 0, 0, 0, i
+	var phase []paralleltape.RequestMetrics
+	flush := func(lo, hi int) {
+		st := paralleltape.AggregateSession(phase)
+		fmt.Printf("%3d..%-5d %6d %14s %12s %8.2f %9.2f %6d\n",
+			lo, hi, sys.FailedDrives(),
+			paralleltape.FormatSeconds(st.MeanResponse),
+			paralleltape.FormatRate(st.MeanGoodput),
+			100*st.Availability, st.MeanRetries, st.TimedOut)
+		phase = phase[:0]
 	}
 
-	seedStream := uint64(5)
-	streamW := w // deterministic request order
-	reqIdx := func(i int) *paralleltape.Request {
-		// Rotate deterministically through requests, weighted sampling not
-		// needed for a failure drill.
-		return &streamW.Requests[int(seedStream+uint64(i*7))%len(streamW.Requests)]
-	}
-
+	var all []paralleltape.RequestMetrics
 	for i := 0; i < 60; i++ {
-		if f, ok := failures[i]; ok {
-			flush(i)
-			if err := sys.FailDrive(f[0], f[1]); err != nil {
+		if i == 30 {
+			// A drive controller burns out for good: the manual failure
+			// API is permanent (no auto-repair) and legal mid-stream —
+			// its pinned cartridge goes back to a cell and the restore
+			// load shifts onto the survivors.
+			flush(i-15, i-1)
+			if err := sys.FailDrive(0, 0); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("  !! drive L%d.D%d failed\n", f[0], f[1])
+			fmt.Println("  !! drive L0.D0 failed permanently (manual FailDrive)")
+		} else if i > 0 && i%15 == 0 {
+			flush(i-15, i-1)
 		}
-		m, err := sys.Submit(reqIdx(i))
+		m, err := sys.Submit(&w.Requests[(5+i*7)%len(w.Requests)])
 		if err != nil {
 			log.Fatal(err)
 		}
-		sum += m.Response
-		bytes += m.Bytes
-		count++
+		phase = append(phase, m)
+		all = append(all, m)
 	}
-	flush(60)
+	flush(45, 59)
 
-	fmt.Println()
-	if err := sys.WriteUtilization(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\nEvery restore still completes — failed pinned drives lose their")
-	fmt.Println("always-mounted status and their tapes flow through the surviving")
-	fmt.Println("switch path — at the cost of the response-time degradation above.")
+	st := paralleltape.AggregateSession(all)
+	fmt.Printf("\nsession: %s of %s delivered on time (availability %.2f%%)\n",
+		paralleltape.FormatBytes(st.BytesServed), paralleltape.FormatBytes(st.Bytes),
+		100*st.Availability)
+	fmt.Printf("         %d restores missed the 1h deadline; %d tape groups abandoned "+
+		"(%d media errors); %.2f retries/restore\n",
+		st.TimedOut, st.FailedGroups, st.MediaErrors, st.MeanRetries)
+	fmt.Println("\nEvery restore still completes — interrupted reads are retried on")
+	fmt.Println("surviving drives and dead hardware degrades service to partial")
+	fmt.Println("results instead of errors. docs/RESILIENCE.md documents the model.")
 }

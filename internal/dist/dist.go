@@ -153,6 +153,29 @@ func (p *BoundedPareto) SampleInt(src *rng.Source) int64 {
 	return v
 }
 
+// Exponential is the memoryless distribution with the given mean — the
+// classic model for times between independent failures and for repair
+// durations. The fault injector (internal/faults) uses it for both device
+// up-times (mean = MTBF) and default repair times.
+type Exponential struct {
+	// Mean is the distribution mean, in whatever unit the caller works in
+	// (the fault models use simulated seconds). Must be positive.
+	Mean float64
+}
+
+// NewExponential validates and returns an exponential distribution.
+func NewExponential(mean float64) (Exponential, error) {
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return Exponential{}, fmt.Errorf("dist: exponential mean must be positive and finite, got %v", mean)
+	}
+	return Exponential{Mean: mean}, nil
+}
+
+// Sample draws one variate: Mean · Exp(1).
+func (e Exponential) Sample(src *rng.Source) float64 {
+	return e.Mean * src.ExpFloat64()
+}
+
 // Discrete is a Walker-alias-method sampler over an arbitrary finite
 // probability vector. Building is O(n); sampling is O(1). The simulator
 // uses it to draw which of the paper's 300 predefined requests to submit.

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"paralleltape/internal/cluster"
+	"paralleltape/internal/faults"
 	"paralleltape/internal/metrics"
 	"paralleltape/internal/model"
 	"paralleltape/internal/placement"
@@ -77,6 +78,14 @@ type Config struct {
 	// placement); their metrics are pooled. More seeds damp sampling
 	// noise in the figures.
 	Seeds int
+	// Faults applies a fault-injection profile to every run that does not
+	// carry its own Options.Faults (the chaos exhibit sets per-point
+	// profiles and wins). Nil keeps runs failure-free. See
+	// docs/RESILIENCE.md for how degraded runs stay deterministic.
+	Faults *faults.Profile
+	// RequestTimeout is the per-request deadline in simulated seconds
+	// applied to runs that do not set their own (0 = none).
+	RequestTimeout float64
 	// Telemetry, when non-nil, streams live metrics from the sweep: every
 	// simulated system gets the collector as its trace recorder, and
 	// RunAll maintains the runs/requests targets and the completion
@@ -259,6 +268,12 @@ func (c Config) execute(r Run, pc *placeCache) Row {
 	row := Row{Label: r.Label, Scheme: r.Scheme.Name(), X: r.X}
 	if r.Opts.Shards == 0 {
 		r.Opts.Shards = c.Shards
+	}
+	if r.Opts.Faults == nil {
+		r.Opts.Faults = c.Faults
+	}
+	if r.Opts.RequestTimeout == 0 {
+		r.Opts.RequestTimeout = c.RequestTimeout
 	}
 	pr, err := pc.place(r)
 	if err != nil {
@@ -447,6 +462,15 @@ type rowJSON struct {
 	Switches      float64 `json:"switches_per_req"`
 	Tapes         float64 `json:"tapes_per_req"`
 	Drives        float64 `json:"drives_per_req"`
+	// Degraded-mode fields (docs/RESILIENCE.md); on a failure-free run
+	// availability is 100, goodput equals bandwidth, and the counters are
+	// omitted.
+	AvailabilityPct float64 `json:"availability_pct,omitempty"`
+	GoodputMBps     float64 `json:"goodput_mbps,omitempty"`
+	RetriesPerReq   float64 `json:"retries_per_req,omitempty"`
+	FailedGroups    int     `json:"failed_groups,omitempty"`
+	MediaErrors     int     `json:"media_errors,omitempty"`
+	TimedOut        int     `json:"timed_out,omitempty"`
 }
 
 // WriteJSON emits the report's rows as a machine-readable series for
@@ -471,6 +495,12 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			j.Switches = row.Stats.MeanSwitches
 			j.Tapes = row.Stats.MeanTapes
 			j.Drives = row.Stats.MeanDrivesUsed
+			j.AvailabilityPct = 100 * row.Stats.Availability
+			j.GoodputMBps = row.Stats.MeanGoodput / 1e6
+			j.RetriesPerReq = row.Stats.MeanRetries
+			j.FailedGroups = row.Stats.FailedGroups
+			j.MediaErrors = row.Stats.MediaErrors
+			j.TimedOut = row.Stats.TimedOut
 		}
 		out.Rows = append(out.Rows, j)
 	}

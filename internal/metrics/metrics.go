@@ -118,6 +118,17 @@ type SessionStats struct {
 	MeanRobotWait  float64
 	MeanMountedPct float64
 
+	// Degraded-mode aggregates (docs/RESILIENCE.md). On a failure-free
+	// untimed session Availability is 1, MeanGoodput equals MeanBandwidth,
+	// and the counters stay zero.
+	BytesServed  int64   // payload delivered within request deadlines
+	Availability float64 // BytesServed / Bytes — the delivered fraction
+	MeanGoodput  float64 // mean over requests of BytesServed/response
+	MeanRetries  float64 // fault-interrupted operations retried, per request
+	TimedOut     int     // requests that exceeded their timeout
+	FailedGroups int     // tape groups abandoned across the session
+	MediaErrors  int     // tape groups lost to permanent media errors
+
 	Response Summary
 	Switch   Summary
 	Seek     Summary
@@ -145,6 +156,14 @@ func AggregateSession(ms []tapesys.RequestMetrics) SessionStats {
 		st.MeanDrivesUsed += float64(m.DrivesUsed)
 		st.MeanRobotWait += m.RobotWait
 		st.MeanMountedPct += m.MountedRatio
+		st.BytesServed += m.BytesServed
+		st.MeanGoodput += m.Goodput()
+		st.MeanRetries += float64(m.Retries)
+		if m.TimedOut {
+			st.TimedOut++
+		}
+		st.FailedGroups += m.FailedGroups
+		st.MediaErrors += m.MediaErrors
 	}
 	n := float64(len(ms))
 	st.Response = Summarize(responses)
@@ -164,6 +183,11 @@ func AggregateSession(ms []tapesys.RequestMetrics) SessionStats {
 	st.MeanDrivesUsed /= n
 	st.MeanRobotWait /= n
 	st.MeanMountedPct /= n
+	st.MeanGoodput /= n
+	st.MeanRetries /= n
+	if st.Bytes > 0 {
+		st.Availability = float64(st.BytesServed) / float64(st.Bytes)
+	}
 	return st
 }
 

@@ -44,37 +44,53 @@ func TestSubmitSteadyStateAllocBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, shards := range []int{0, 1} {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			s, err := NewWithOptions(hw, pr, Options{Shards: shards})
-			if err != nil {
-				t.Fatal(err)
-			}
-			stream, err := workload.NewRequestStream(w, rng.New(99))
-			if err != nil {
-				t.Fatal(err)
-			}
-			// Warm-up: grow the grouping arena, pending queues, event heap,
-			// and operation pools to this workload's high-water mark.
-			for i := 0; i < 50; i++ {
-				if _, err := s.Submit(stream.Next()); err != nil {
+	// The resilience knobs must cost nothing while no fault fires: the
+	// second options set exercises the deadline bookkeeping and the
+	// fault-path guards with faults disabled, and must fit the same
+	// budget — zero extra allocations over the healthy configuration.
+	optSets := map[string]Options{
+		"healthy": {},
+		"resilient-idle": {
+			RequestTimeout: 1e9,
+			MaxRetries:     5,
+			RetryBackoff:   30,
+		},
+	}
+	for name, base := range optSets {
+		for _, shards := range []int{0, 1} {
+			opts := base
+			opts.Shards = shards
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				s, err := NewWithOptions(hw, pr, opts)
+				if err != nil {
 					t.Fatal(err)
 				}
-			}
-			var submitErr error
-			allocs := testing.AllocsPerRun(100, func() {
-				if _, err := s.Submit(stream.Next()); err != nil {
-					submitErr = err
+				stream, err := workload.NewRequestStream(w, rng.New(99))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Warm-up: grow the grouping arena, pending queues, event heap,
+				// and operation pools to this workload's high-water mark.
+				for i := 0; i < 50; i++ {
+					if _, err := s.Submit(stream.Next()); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var submitErr error
+				allocs := testing.AllocsPerRun(100, func() {
+					if _, err := s.Submit(stream.Next()); err != nil {
+						submitErr = err
+					}
+				})
+				if submitErr != nil {
+					t.Fatal(submitErr)
+				}
+				const budget = 2
+				if allocs > budget {
+					t.Fatalf("Submit steady state allocates %.1f per request, budget %d", allocs, budget)
 				}
 			})
-			if submitErr != nil {
-				t.Fatal(submitErr)
-			}
-			const budget = 2
-			if allocs > budget {
-				t.Fatalf("Submit steady state allocates %.1f per request, budget %d", allocs, budget)
-			}
-		})
+		}
 	}
 }
 

@@ -2,9 +2,11 @@ package tapesys
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"paralleltape/internal/catalog"
+	"paralleltape/internal/faults"
 )
 
 // PendingOrder selects how a library's queue of offline requested tapes is
@@ -68,11 +70,20 @@ func (p VictimPolicy) String() string {
 	}
 }
 
+// DefaultMaxRetries is the retry bound applied when Options.MaxRetries is
+// left at zero: an interrupted tape-group operation is re-dispatched at
+// most this many times before the group is abandoned.
+const DefaultMaxRetries = 3
+
 // Options tunes simulator scheduling and execution. The zero value is the
 // paper's behavior on a single engine.
 type Options struct {
+	// Pending selects how each library's queue of offline requested
+	// tapes is ordered before switch drives pull from it.
 	Pending PendingOrder
-	Victim  VictimPolicy
+	// Victim selects which switchable drive gives up its tape when an
+	// offline tape must be mounted.
+	Victim VictimPolicy
 
 	// Shards partitions the system's libraries into this many engine
 	// shards whose event loops run on separate goroutines within each
@@ -81,6 +92,27 @@ type Options struct {
 	// calling goroutine with no synchronization; values above the library
 	// count are clamped. Results are byte-identical for every value.
 	Shards int
+
+	// Faults attaches a fault-injection profile (stochastic MTBF/repair
+	// timelines, scripted outages, media errors — see internal/faults and
+	// docs/RESILIENCE.md). Nil, or a profile that enables nothing, runs
+	// failure-free with zero overhead on the hot path.
+	Faults *faults.Profile
+	// RequestTimeout caps each request's client-observed response time in
+	// simulated seconds: a request still running at submission+timeout is
+	// reported TimedOut with Response = RequestTimeout and BytesServed
+	// counting only the payload delivered by the deadline (in-flight
+	// mechanical work still completes and advances the clock). 0 disables
+	// timeouts.
+	RequestTimeout float64
+	// MaxRetries bounds how many times one tape group's operation is
+	// re-dispatched after a fault interrupts it; past the bound the group
+	// is abandoned and accounted in FailedGroups/FailedBytes. 0 selects
+	// DefaultMaxRetries.
+	MaxRetries int
+	// RetryBackoff delays each re-dispatch of an interrupted group by
+	// this many simulated seconds (0 retries immediately).
+	RetryBackoff float64
 }
 
 // Validate checks option sanity.
@@ -97,6 +129,20 @@ func (o Options) Validate() error {
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("tapesys: negative shard count %d", o.Shards)
+	}
+	if o.RequestTimeout < 0 || math.IsNaN(o.RequestTimeout) {
+		return fmt.Errorf("tapesys: negative request timeout %v", o.RequestTimeout)
+	}
+	if o.MaxRetries < 0 {
+		return fmt.Errorf("tapesys: negative retry bound %d", o.MaxRetries)
+	}
+	if o.RetryBackoff < 0 || math.IsNaN(o.RetryBackoff) {
+		return fmt.Errorf("tapesys: negative retry backoff %v", o.RetryBackoff)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

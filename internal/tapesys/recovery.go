@@ -1,0 +1,355 @@
+package tapesys
+
+// recovery.go is the degraded-mode half of the simulator: how in-flight
+// operation chains react when the fault injector (internal/faults, wired
+// through Options.Faults) takes a drive, robot, or cartridge out from
+// under them, and how interrupted work is re-dispatched onto surviving
+// drives. The full contract — what fails, what retries, what is abandoned,
+// and why every run stays byte-deterministic per seed at every shard
+// count — is documented in docs/RESILIENCE.md.
+//
+// Design rules the code below follows:
+//
+//   - Fault outcomes are decided from the injector's deterministic
+//     per-device timelines at the instants the simulation already visits
+//     (serve schedule time, switch stage boundaries, robot grant time,
+//     request submission). No speculative failure or repair events are
+//     pushed onto the engines: a repair wakeup is scheduled only when a
+//     library would otherwise deadlock (queued groups, zero alive
+//     drives), so the event is always required for liveness and always
+//     precedes the request's completion — the deterministic join never
+//     sees a stray event.
+//   - Everything here is behind an `inj != nil` (or `d.failed`) guard on
+//     the healthy path, and only code that runs when a fault actually
+//     fires may allocate (the retry and repair closures).
+//   - All state is shard-local or owned by the library's shard, so the
+//     sharded run needs no synchronization beyond the existing join.
+
+import (
+	"math"
+
+	"paralleltape/internal/catalog"
+	"paralleltape/internal/trace"
+)
+
+// retryEntry is one fault-interrupted tape group waiting in a library's
+// retry queue for an idle surviving drive.
+type retryEntry struct {
+	g        catalog.TapeGroup
+	attempts int
+}
+
+// armServeFaults decides, at schedule time, whether the injector cuts the
+// service short, returning the (possibly truncated) span to schedule. A
+// media-error draw is consumed for every read so the media stream stays
+// aligned regardless of drive state; an earlier drive failure overrides
+// the media outcome.
+func (sh *shard) armServeFaults(op *serveOp, span float64) float64 {
+	s := sh.sys
+	now := sh.eng.Now()
+	cut := span
+	if failed, frac := s.inj.MediaRead(op.d.lib, op.g.Tape.Index); failed {
+		op.mode = serveMedia
+		cut = span * frac
+	}
+	if tf := s.inj.NextDriveFailure(op.d.gidx, now); tf-now < cut {
+		op.mode = serveDriveFail
+		cut = tf - now
+		if cut < 0 {
+			cut = 0
+		}
+	}
+	return cut
+}
+
+// interrupted is the fault branch of serveOp.finish: the service ended
+// early on a media error or a drive failure (injected, or a manual
+// FailDrive while the op was in flight). The time actually spent still
+// counts as busy time; the payload does not count as served.
+func (op *serveOp) interrupted() {
+	sh, d, g := op.sh, op.d, op.g
+	mode, start, attempts := op.mode, op.start, op.attempts
+	sh.putServeOp(op)
+	now := sh.eng.Now()
+	elapsed := now - start
+	d.busy = false
+	d.busySeconds += elapsed
+	sh.totalBusy += elapsed
+	s := sh.sys
+	if mode == serveMedia && !d.failed {
+		// Permanent media error: the cartridge is bad, so retrying on
+		// another drive cannot help — the group is lost.
+		sh.mediaErrors++
+		sh.totalMediaErrors++
+		sh.emit(trace.Event{Kind: trace.KindMediaError, Lib: d.lib, Drive: d.idx,
+			Tape: g.Tape.Index, Req: s.curReq, Bytes: g.Bytes, Dur: elapsed})
+		sh.failGroup(g)
+		sh.afterService(d)
+		return
+	}
+	if !d.failed {
+		_, until := s.inj.DriveDown(d.gidx, now)
+		sh.observeDriveFailure(d, until, g.Tape.Index, s.curReq)
+	} else if d.mounted >= 0 {
+		sh.evictMounted(d)
+	}
+	sh.retryGroup(g, attempts)
+}
+
+// abortIfDown is the switch-stage boundary check: if the switching drive
+// has failed (injected window reached, or manual FailDrive), the switch
+// chain stops here, the partial switch time is charged, and the group is
+// re-dispatched. Returns true when the chain was aborted.
+func (op *switchOp) abortIfDown() bool {
+	sh, d := op.sh, op.d
+	s := sh.sys
+	if !d.failed {
+		if s.inj == nil {
+			return false
+		}
+		down, until := s.inj.DriveDown(d.gidx, sh.eng.Now())
+		if !down {
+			return false
+		}
+		sh.observeDriveFailure(d, until, op.g.Tape.Index, s.curReq)
+	} else if d.mounted >= 0 {
+		sh.evictMounted(d)
+	}
+	g, attempts := op.g, op.attempts
+	d.busy = false
+	d.switchSeconds += sh.eng.Now() - op.switchBegin
+	if op.grant != nil {
+		// Defensive: no stage aborts while holding the robot today
+		// (afterMove releases before its check), but a future stage must
+		// not leak the arm.
+		op.grant.Release()
+		op.grant = nil
+	}
+	sh.putSwitchOp(op)
+	sh.retryGroup(g, attempts)
+	return true
+}
+
+// observeDriveFailure transitions a drive to the failed state the instant
+// the simulation first observes its (injected) failure window: the
+// mounted cartridge is returned to its cell, a pinned drive loses its pin
+// (its dedicated cartridge is evicted with it), and repairAt records when
+// sweepFaults or a repair wakeup may return it to service.
+func (sh *shard) observeDriveFailure(d *drive, repairAt float64, tapeCtx int, req int64) {
+	d.failed = true
+	d.manual = false
+	d.pinned = false
+	d.repairAt = repairAt
+	if d.mounted >= 0 {
+		sh.evictMounted(d)
+	}
+	sh.emit(trace.Event{Kind: trace.KindDriveFailed, Lib: d.lib, Drive: d.idx,
+		Tape: tapeCtx, Req: req, Dur: repairAt - sh.eng.Now()})
+}
+
+// evictMounted returns a drive's mounted cartridge to its library cell
+// (modeling the repair crew clearing the transport), making the tape
+// mountable by other drives.
+func (sh *shard) evictMounted(d *drive) {
+	delete(sh.sys.libs[d.lib].byTape, d.mounted)
+	d.mounted = -1
+	d.headPos = 0
+}
+
+// failGroup abandons one tape group of the current request: its payload is
+// accounted as failed and its latch slot opens so the request can still
+// complete (partial-result accounting, docs/RESILIENCE.md).
+func (sh *shard) failGroup(g catalog.TapeGroup) {
+	sh.failedGroups++
+	sh.failedBytes += g.Bytes
+	sh.latch.Done()
+}
+
+// retryGroup re-dispatches a fault-interrupted group: after the configured
+// backoff it joins the library's retry queue and an idle surviving drive
+// picks it up. Past the retry bound the group is abandoned.
+func (sh *shard) retryGroup(g catalog.TapeGroup, attempts int) {
+	s := sh.sys
+	if attempts+1 > s.maxRetries() {
+		sh.failGroup(g)
+		return
+	}
+	sh.retries++
+	sh.totalRetries++
+	backoff := s.opts.RetryBackoff
+	sh.emit(trace.Event{Kind: trace.KindOpRetried, Lib: g.Tape.Library, Drive: -1,
+		Tape: g.Tape.Index, Req: s.curReq, Bytes: g.Bytes, Dur: backoff, Queue: attempts + 1})
+	lib, next := g.Tape.Library, attempts+1
+	sh.eng.Schedule(backoff, func() {
+		s.retryQ[lib] = append(s.retryQ[lib], retryEntry{g: g, attempts: next})
+		sh.pump(lib)
+	})
+}
+
+// pump dispatches a library's queued groups onto idle alive drives. If the
+// library has queued work but no alive drive at all, it stalls (waiting on
+// a scheduled repair, or abandoning the work if none is coming); if all
+// alive drives are busy it simply returns — each will pull from the queue
+// through afterService when it finishes.
+func (sh *shard) pump(lib int) {
+	s := sh.sys
+	for sh.hasQueued(lib) {
+		var idle *drive
+		alive := false
+		for _, d := range s.libs[lib].drives {
+			if d.failed || d.pinned {
+				continue
+			}
+			alive = true
+			if !d.busy {
+				idle = d
+				break
+			}
+		}
+		if !alive {
+			sh.stall(lib)
+			return
+		}
+		if idle == nil {
+			return
+		}
+		g, attempts, _ := sh.takeQueued(lib)
+		sh.startSwitch(idle, g, attempts)
+	}
+}
+
+// stall handles a library with queued groups and zero alive drives: if any
+// failed drive has a scheduled repair, one wakeup event is armed at the
+// earliest repair instant (the guard keeps it single); otherwise no repair
+// will ever come — manual failures are permanent — and everything queued
+// is abandoned so the request can complete.
+func (sh *shard) stall(lib int) {
+	s := sh.sys
+	earliest := math.Inf(1)
+	for _, d := range s.libs[lib].drives {
+		if d.failed && !d.manual && d.repairAt < earliest {
+			earliest = d.repairAt
+		}
+	}
+	if math.IsInf(earliest, 1) {
+		for {
+			g, _, ok := sh.takeQueued(lib)
+			if !ok {
+				return
+			}
+			sh.failGroup(g)
+		}
+	}
+	if s.repairArmed[lib] {
+		return
+	}
+	s.repairArmed[lib] = true
+	delay := earliest - sh.eng.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	sh.eng.Schedule(delay, func() {
+		s.repairArmed[lib] = false
+		now := sh.eng.Now()
+		for _, d := range s.libs[lib].drives {
+			if d.failed && !d.manual && d.repairAt <= now {
+				sh.repairDrive(d)
+			}
+		}
+		sh.pump(lib)
+	})
+}
+
+// repairDrive returns a failed drive to service mid-request.
+func (sh *shard) repairDrive(d *drive) {
+	d.failed = false
+	d.repairAt = 0
+	sh.emit(trace.Event{Kind: trace.KindDriveRepaired, Lib: d.lib, Drive: d.idx,
+		Tape: -1, Req: sh.sys.curReq})
+}
+
+// sweepFaults reconciles drive state with the injector's timelines at a
+// request boundary: overdue injected failures are repaired, drives inside
+// a failure window are taken down (their cartridges returned to cells)
+// before the request's mounted-tape lookup runs. Manual FailDrive outages
+// are never auto-repaired. Robots need no sweep — outages are observed at
+// grant time.
+func (s *System) sweepFaults(t0 float64) {
+	for _, l := range s.libs {
+		for _, d := range l.drives {
+			if d.manual {
+				continue
+			}
+			if d.failed {
+				if d.repairAt > t0 {
+					continue
+				}
+				d.failed = false
+				d.repairAt = 0
+				s.emitAt(trace.Event{Kind: trace.KindDriveRepaired, Lib: d.lib, Drive: d.idx,
+					Tape: -1, Req: -1}, t0)
+			}
+			if down, until := s.inj.DriveDown(d.gidx, t0); down {
+				d.failed = true
+				d.pinned = false
+				d.repairAt = until
+				if d.mounted >= 0 {
+					delete(l.byTape, d.mounted)
+					d.mounted = -1
+					d.headPos = 0
+				}
+				s.emitAt(trace.Event{Kind: trace.KindDriveFailed, Lib: d.lib, Drive: d.idx,
+					Tape: -1, Req: -1, Dur: until - t0}, t0)
+			}
+		}
+	}
+}
+
+// hasQueued reports whether a library has retried or pending groups
+// waiting for a drive.
+func (sh *shard) hasQueued(lib int) bool {
+	s := sh.sys
+	return s.retryHead[lib] < len(s.retryQ[lib]) || s.pendHead[lib] < len(s.pending[lib])
+}
+
+// takeQueued pops the next group for a library — retried groups first
+// (they have already waited out a backoff), then the request's pending
+// queue — along with its prior attempt count.
+func (sh *shard) takeQueued(lib int) (catalog.TapeGroup, int, bool) {
+	s := sh.sys
+	if s.retryHead[lib] < len(s.retryQ[lib]) {
+		e := s.retryQ[lib][s.retryHead[lib]]
+		s.retryHead[lib]++
+		return e.g, e.attempts, true
+	}
+	g, ok := sh.takePending(lib)
+	return g, 0, ok
+}
+
+// maxRetries resolves the effective retry bound.
+func (s *System) maxRetries() int {
+	if s.opts.MaxRetries > 0 {
+		return s.opts.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// TotalRetries returns the lifetime count of fault-interrupted operations
+// re-dispatched to surviving drives, reduced over shards in fixed order.
+func (s *System) TotalRetries() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.totalRetries
+	}
+	return n
+}
+
+// TotalMediaErrors returns the lifetime count of tape groups lost to
+// permanent media errors, reduced over shards in fixed order.
+func (s *System) TotalMediaErrors() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.totalMediaErrors
+	}
+	return n
+}

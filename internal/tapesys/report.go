@@ -152,18 +152,16 @@ func (s *System) WriteUtilization(w io.Writer) error {
 	return nil
 }
 
-// FailDrive takes a drive out of service between requests: its mounted
-// tape (if any) is returned to its cell immediately (the robot operation
-// is assumed to happen during the idle period) and the drive never serves
-// or switches again. Pinned drives lose their pin — their content becomes
-// switchable like any offline tape. It fails if the system is mid-request
-// or the drive does not exist.
+// FailDrive permanently takes a drive out of service: it is never
+// auto-repaired, and once failed the drive never serves or switches again.
+// Pinned drives lose their pin — their content becomes switchable like any
+// offline tape. Called between requests (the historical, still-convenient
+// use) the mounted tape is returned to its cell immediately; if the drive
+// has an operation chain in flight, the chain aborts at its next stage
+// boundary and the recovery layer re-dispatches the interrupted group onto
+// a surviving drive (see docs/RESILIENCE.md). It fails only if the drive
+// does not exist or is already failed.
 func (s *System) FailDrive(library, drive int) error {
-	for _, sh := range s.shards {
-		if sh.eng.Pending() > 0 {
-			return fmt.Errorf("tapesys: cannot fail a drive mid-request")
-		}
-	}
 	if library < 0 || library >= len(s.libs) {
 		return fmt.Errorf("tapesys: no library %d", library)
 	}
@@ -176,8 +174,10 @@ func (s *System) FailDrive(library, drive int) error {
 		return fmt.Errorf("tapesys: drive L%d.D%d already failed", library, drive)
 	}
 	d.failed = true
+	d.manual = true
 	d.pinned = false
-	if d.mounted >= 0 {
+	d.repairAt = 0
+	if d.mounted >= 0 && !d.busy {
 		delete(l.byTape, d.mounted)
 		d.mounted = -1
 		d.headPos = 0

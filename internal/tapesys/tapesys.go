@@ -71,10 +71,12 @@ package tapesys
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sync"
 
 	"paralleltape/internal/catalog"
+	"paralleltape/internal/faults"
 	"paralleltape/internal/model"
 	"paralleltape/internal/placement"
 	"paralleltape/internal/sim"
@@ -91,6 +93,16 @@ type drive struct {
 	headPos int64 // byte offset of the head on the mounted tape
 	pinned  bool
 	failed  bool
+
+	// manual marks a FailDrive'd drive: never auto-repaired. Injected
+	// failures instead carry the injector's return-to-service instant in
+	// repairAt (see recovery.go).
+	manual   bool
+	repairAt float64
+	// busy marks a drive with an in-flight serve or switch continuation;
+	// the recovery layer uses it to find idle drives for retried work and
+	// to decide who owns a failed drive's mounted cartridge.
+	busy bool
 
 	// claimed marks the drive as occupied by the request currently being
 	// dispatched (serving or switching); valid only during Submit's
@@ -150,9 +162,21 @@ type shard struct {
 	servePool  []*serveOp
 	switchPool []*switchOp
 
+	// Degraded-mode per-request counters (recovery.go), merged into
+	// RequestMetrics in fixed shard order at the join. All stay zero on a
+	// failure-free run except served, which then equals the shard's
+	// delivered bytes.
+	served       int64
+	retries      int
+	mediaErrors  int
+	failedGroups int
+	failedBytes  int64
+
 	// Lifetime accounting local to the shard, reduced in shard order.
-	totalSwitches int
-	totalBusy     float64 // diagnostic: summed seek+transfer seconds
+	totalSwitches    int
+	totalBusy        float64 // diagnostic: summed seek+transfer seconds
+	totalRetries     int
+	totalMediaErrors int
 }
 
 // emit stamps the event with the shard's clock and records it. The nil
@@ -176,6 +200,12 @@ type System struct {
 	opts   Options
 	rec    trace.Recorder // as attached by the caller (unwrapped)
 
+	// inj is the fault injector (nil when Options.Faults is nil or
+	// injects nothing); deadline is the current request's timeout instant
+	// (+Inf when timeouts are off). See recovery.go.
+	inj      *faults.Injector
+	deadline float64
+
 	totalBytes int64
 
 	// Reusable per-request scratch for the single-threaded dispatch and
@@ -183,16 +213,19 @@ type System struct {
 	// Submit runs one request to completion before returning, so exactly
 	// one request is in flight and its transient state can live on the
 	// System; the event-driven phase runs through the shards.
-	grouper    *catalog.Grouper
-	curReq     int64
-	curMet     RequestMetrics
-	acct       []driveAcct           // dense, indexed by drive.gidx
-	pending    [][]catalog.TapeGroup // per-library offline-group queues
-	pendHead   []int                 // consumption cursor per library
-	mountedSvc []mountedService
-	eligible   []*drive
-	victimCmp  func(a, b *drive) int
-	wg         sync.WaitGroup
+	grouper     *catalog.Grouper
+	curReq      int64
+	curMet      RequestMetrics
+	acct        []driveAcct           // dense, indexed by drive.gidx
+	pending     [][]catalog.TapeGroup // per-library offline-group queues
+	pendHead    []int                 // consumption cursor per library
+	retryQ      [][]retryEntry        // per-library queues of ready retried groups
+	retryHead   []int                 // consumption cursor per library
+	repairArmed []bool                // per-library: a repair wakeup event is scheduled
+	mountedSvc  []mountedService
+	eligible    []*drive
+	victimCmp   func(a, b *drive) int
+	wg          sync.WaitGroup
 }
 
 // New builds a system in the placement's initial state with the paper's
@@ -214,8 +247,16 @@ func NewWithOptions(hw tape.Hardware, pl *placement.Result, opts Options) (*Syst
 		return nil, err
 	}
 	s := &System{
-		hw:   hw,
-		opts: opts,
+		hw:       hw,
+		opts:     opts,
+		deadline: math.Inf(1),
+	}
+	if opts.Faults != nil && opts.Faults.Enabled() {
+		inj, err := faults.New(*opts.Faults, hw.Libraries, hw.DrivesPerLib, hw.TapesPerLib)
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
 	}
 	nshards := opts.Shards
 	if nshards < 1 {
@@ -249,6 +290,9 @@ func NewWithOptions(hw tape.Hardware, pl *placement.Result, opts Options) (*Syst
 	s.acct = make([]driveAcct, hw.Libraries*hw.DrivesPerLib)
 	s.pending = make([][]catalog.TapeGroup, hw.Libraries)
 	s.pendHead = make([]int, hw.Libraries)
+	s.retryQ = make([][]retryEntry, hw.Libraries)
+	s.retryHead = make([]int, hw.Libraries)
+	s.repairArmed = make([]bool, hw.Libraries)
 	// victimLess is a total order (ties break on the unique drive index),
 	// so the unstable sort ranks victims deterministically. The comparator
 	// is created once so the per-request sort allocates nothing.
@@ -326,10 +370,21 @@ func (s *System) Reset(pl *placement.Result) error {
 		sh.eng.Reset()
 		sh.totalSwitches = 0
 		sh.totalBusy = 0
+		sh.totalRetries = 0
+		sh.totalMediaErrors = 0
 	}
 	for _, l := range s.libs {
 		l.robot.Reset()
 	}
+	if s.inj != nil {
+		s.inj.Reset()
+	}
+	for lib := range s.retryQ {
+		s.retryQ[lib] = s.retryQ[lib][:0]
+		s.retryHead[lib] = 0
+		s.repairArmed[lib] = false
+	}
+	s.deadline = math.Inf(1)
 	s.totalBytes = 0
 	return s.applyPlacement(pl)
 }
@@ -350,6 +405,15 @@ type RequestMetrics struct {
 	SumSeek      float64 // seek time summed over all drives
 	SumTransfer  float64 // transfer time summed over all drives
 	MountedRatio float64 // fraction of bytes served from already-mounted tapes
+
+	// Degraded-mode accounting (docs/RESILIENCE.md). On a failure-free
+	// untimed run BytesServed equals Bytes and the rest stay zero.
+	BytesServed  int64 // payload delivered by the request deadline
+	Retries      int   // fault-interrupted operations re-dispatched to surviving drives
+	MediaErrors  int   // tape groups lost to permanent media errors
+	FailedGroups int   // tape groups abandoned (media errors, retry exhaustion, dead libraries)
+	FailedBytes  int64 // payload of the abandoned groups
+	TimedOut     bool  // the request exceeded Options.RequestTimeout
 }
 
 // Bandwidth returns the request's effective data retrieval bandwidth in
@@ -359,6 +423,17 @@ func (m RequestMetrics) Bandwidth() float64 {
 		return 0
 	}
 	return float64(m.Bytes) / m.Response
+}
+
+// Goodput returns the delivered bandwidth in bytes/second — BytesServed
+// over Response — which discounts abandoned groups and payload that
+// arrived after the request deadline. On a failure-free run it equals
+// Bandwidth.
+func (m RequestMetrics) Goodput() float64 {
+	if m.Response <= 0 {
+		return 0
+	}
+	return float64(m.BytesServed) / m.Response
 }
 
 // driveAcct accumulates one drive's work during a single request.
@@ -379,7 +454,28 @@ type serveOp struct {
 	g    catalog.TapeGroup
 	plan tape.ReadPlan
 	fn   func()
+
+	// Recovery-layer state (recovery.go): mode says whether the injector
+	// cut this service short and how, start is the schedule instant for
+	// partial-work accounting, attempts counts prior re-dispatches of the
+	// group.
+	mode     serveMode
+	start    float64
+	attempts int
 }
+
+// serveMode tags a service continuation with its fault outcome, decided at
+// schedule time from the injector's deterministic timelines.
+type serveMode uint8
+
+const (
+	// serveOK completes the full seek+transfer span.
+	serveOK serveMode = iota
+	// serveDriveFail ends early at the serving drive's failure instant.
+	serveDriveFail
+	// serveMedia ends early at a permanent media error on the cartridge.
+	serveMedia
+)
 
 func (sh *shard) getServeOp() *serveOp {
 	if n := len(sh.servePool); n > 0 {
@@ -401,10 +497,17 @@ func (sh *shard) putServeOp(op *serveOp) {
 }
 
 // finish is the service-completion event: account the seek/transfer work,
-// free the drive, and let it pick up pending switch work.
+// free the drive, and let it pick up pending switch work. Services the
+// fault layer cut short — or whose drive was manually failed while the op
+// was in flight — divert to the recovery path instead.
 func (op *serveOp) finish() {
+	if op.mode != serveOK || op.d.failed {
+		op.interrupted()
+		return
+	}
 	sh, d, g, plan := op.sh, op.d, op.g, op.plan
 	sh.putServeOp(op)
+	d.busy = false
 	d.headPos = plan.EndPos
 	a := &sh.sys.acct[d.gidx]
 	a.used = true
@@ -415,6 +518,9 @@ func (op *serveOp) finish() {
 	sh.totalBusy += plan.SeekTotal + plan.XferTotal
 	d.busySeconds += plan.SeekTotal + plan.XferTotal
 	d.bytesMoved += g.Bytes
+	if sh.eng.Now() <= sh.sys.deadline {
+		sh.served += g.Bytes
+	}
 	sh.emit(trace.Event{Kind: trace.KindServeEnd, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
 		Req: sh.sys.curReq, Bytes: g.Bytes, Dur: plan.SeekTotal + plan.XferTotal})
 	sh.latch.Done()
@@ -433,11 +539,16 @@ type switchOp struct {
 	switchBegin float64
 	hadTape     bool
 	grant       *sim.Grant
+	// attempts counts prior fault-interrupted dispatches of the group
+	// (recovery.go); carried through to the serve so a retried group keeps
+	// its retry budget.
+	attempts int
 
-	afterPrepFn func()
-	onGrantFn   func(*sim.Grant)
-	afterMoveFn func()
-	afterLoadFn func()
+	afterPrepFn  func()
+	onGrantFn    func(*sim.Grant)
+	afterRobotFn func()
+	afterMoveFn  func()
+	afterLoadFn  func()
 }
 
 func (sh *shard) getSwitchOp() *switchOp {
@@ -450,6 +561,7 @@ func (sh *shard) getSwitchOp() *switchOp {
 	op := &switchOp{sh: sh}
 	op.afterPrepFn = op.afterPrep
 	op.onGrantFn = op.onGrant
+	op.afterRobotFn = op.afterRobot
 	op.afterMoveFn = op.afterMove
 	op.afterLoadFn = op.afterLoad
 	return op
@@ -467,6 +579,9 @@ func (sh *shard) putSwitchOp(op *switchOp) {
 // immediately for an empty drive): the cartridge has left the drive, so
 // queue for the robot.
 func (op *switchOp) afterPrep() {
+	if op.abortIfDown() {
+		return
+	}
 	d, l := op.d, op.l
 	op.hadTape = d.mounted >= 0
 	if op.hadTape {
@@ -476,10 +591,37 @@ func (op *switchOp) afterPrep() {
 	l.robot.Acquire(op.onGrantFn)
 }
 
-// onGrant runs holding the robot: perform the cell moves.
+// onGrant runs holding the robot. If the arm is inside an injected outage
+// window the switch rides it out while holding the grant — followers queue
+// behind it, which is exactly the degraded-mode contract of
+// docs/RESILIENCE.md — otherwise the cell moves start immediately.
 func (op *switchOp) onGrant(grant *sim.Grant) {
 	sh, d := op.sh, op.d
 	op.grant = grant
+	if s := sh.sys; s.inj != nil {
+		now := sh.eng.Now()
+		if down, until := s.inj.RobotDown(d.lib, now); down {
+			sh.emit(trace.Event{Kind: trace.KindRobotFailed, Lib: d.lib, Drive: d.idx,
+				Tape: op.g.Tape.Index, Req: s.curReq, Dur: until - now})
+			sh.eng.Schedule(until-now, op.afterRobotFn)
+			return
+		}
+	}
+	op.moves()
+}
+
+// afterRobot resumes a switch that waited out a robot outage.
+func (op *switchOp) afterRobot() {
+	sh, d := op.sh, op.d
+	sh.emit(trace.Event{Kind: trace.KindRobotRepaired, Lib: d.lib, Drive: d.idx,
+		Tape: op.g.Tape.Index, Req: sh.sys.curReq})
+	op.moves()
+}
+
+// moves performs the robot cell moves (stow the outgoing cartridge if any,
+// fetch the target) while holding the arm.
+func (op *switchOp) moves() {
+	sh, d := op.sh, op.d
 	move := sh.sys.hw.CellToDrive // fetch the target cartridge
 	if op.hadTape {
 		move += sh.sys.hw.CellToDrive // first stow the old one
@@ -493,6 +635,10 @@ func (op *switchOp) onGrant(grant *sim.Grant) {
 func (op *switchOp) afterMove() {
 	sh, d := op.sh, op.d
 	op.grant.Release()
+	op.grant = nil
+	if op.abortIfDown() {
+		return
+	}
 	sh.emit(trace.Event{Kind: trace.KindLoad, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
 		Req: sh.sys.curReq, Dur: sh.sys.hw.LoadThread})
 	sh.eng.Schedule(sh.sys.hw.LoadThread, op.afterLoadFn)
@@ -500,8 +646,11 @@ func (op *switchOp) afterMove() {
 
 // afterLoad completes the mount and serves the group.
 func (op *switchOp) afterLoad() {
+	if op.abortIfDown() {
+		return
+	}
 	sh, d, l, g := op.sh, op.d, op.l, op.g
-	switchBegin := op.switchBegin
+	switchBegin, attempts := op.switchBegin, op.attempts
 	sh.putSwitchOp(op)
 	d.mounted = g.Tape.Index
 	d.headPos = 0
@@ -510,15 +659,27 @@ func (op *switchOp) afterLoad() {
 	l.byTape[g.Tape.Index] = d
 	sh.emit(trace.Event{Kind: trace.KindMounted, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
 		Req: sh.sys.curReq, Dur: sh.eng.Now() - switchBegin})
-	sh.serve(d, g)
+	sh.serve(d, g, attempts)
 }
 
-// serve schedules the seek+transfer span for group g on drive d.
-func (sh *shard) serve(d *drive, g catalog.TapeGroup) {
+// serve schedules the seek+transfer span for group g on drive d. attempts
+// is the group's prior fault-interrupted dispatch count (0 on the healthy
+// path). With an injector attached the span may be cut short by a
+// scheduled drive failure or a media error (armServeFaults); the emitted
+// seek/transfer events always carry the full planned spans.
+func (sh *shard) serve(d *drive, g catalog.TapeGroup, attempts int) {
 	op := sh.getServeOp()
 	op.d = d
 	op.g = g
 	op.plan = sh.planner.Plan(sh.sys.hw, d.headPos, g.Extents)
+	op.mode = serveOK
+	op.start = sh.eng.Now()
+	op.attempts = attempts
+	d.busy = true
+	span := op.plan.SeekTotal + op.plan.XferTotal
+	if sh.sys.inj != nil {
+		span = sh.armServeFaults(op, span)
+	}
 	if sh.rec != nil {
 		sh.emit(trace.Event{Kind: trace.KindServeStart, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
 			Req: sh.sys.curReq, Bytes: g.Bytes})
@@ -527,19 +688,22 @@ func (sh *shard) serve(d *drive, g catalog.TapeGroup) {
 		sh.emit(trace.Event{Kind: trace.KindTransfer, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
 			Req: sh.sys.curReq, Bytes: g.Bytes, Dur: op.plan.XferTotal})
 	}
-	sh.eng.Schedule(op.plan.SeekTotal+op.plan.XferTotal, op.fn)
+	sh.eng.Schedule(span, op.fn)
 }
 
 // startSwitch begins the rewind → robot → load pipeline moving drive d to
-// the cartridge of group g.
-func (sh *shard) startSwitch(d *drive, g catalog.TapeGroup) {
+// the cartridge of group g. attempts is the group's prior
+// fault-interrupted dispatch count (0 on the healthy path).
+func (sh *shard) startSwitch(d *drive, g catalog.TapeGroup, attempts int) {
 	sh.switches++
 	sh.totalSwitches++
 	op := sh.getSwitchOp()
 	op.d = d
 	op.l = sh.sys.libs[d.lib]
 	op.g = g
+	op.attempts = attempts
 	op.switchBegin = sh.eng.Now()
+	d.busy = true
 	prep := 0.0
 	if d.mounted >= 0 {
 		prep = sh.sys.hw.RewindTime(d.headPos) + sh.sys.hw.Unload
@@ -561,13 +725,23 @@ func (sh *shard) takePending(lib int) (catalog.TapeGroup, bool) {
 	return g, true
 }
 
-// afterService decides a drive's next move once it finishes a tape.
+// afterService decides a drive's next move once it finishes a tape. With
+// an injector attached it first checks whether the drive's failure window
+// opened exactly at service end; queued retried groups take priority over
+// the request's original pending queue.
 func (sh *shard) afterService(d *drive) {
 	if d.pinned {
 		return
 	}
-	if g, ok := sh.takePending(d.lib); ok {
-		sh.startSwitch(d, g)
+	if s := sh.sys; s.inj != nil && !d.failed {
+		if down, until := s.inj.DriveDown(d.gidx, sh.eng.Now()); down {
+			sh.observeDriveFailure(d, until, -1, s.curReq)
+			sh.pump(d.lib)
+			return
+		}
+	}
+	if g, attempts, ok := sh.takeQueued(d.lib); ok {
+		sh.startSwitch(d, g, attempts)
 	}
 }
 
@@ -576,6 +750,11 @@ func (sh *shard) beginRequest() {
 	sh.groups = 0
 	sh.switches = 0
 	sh.reqDone = false
+	sh.served = 0
+	sh.retries = 0
+	sh.mediaErrors = 0
+	sh.failedGroups = 0
+	sh.failedBytes = 0
 }
 
 // emitAt records a system-level event stamped with time t. Submit calls it
@@ -606,6 +785,13 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	// Shard clocks are synchronized at every request boundary, so any
 	// shard's clock is the submission instant.
 	t0 := s.shards[0].eng.Now()
+	if s.inj != nil {
+		s.sweepFaults(t0)
+	}
+	s.deadline = math.Inf(1)
+	if s.opts.RequestTimeout > 0 {
+		s.deadline = t0 + s.opts.RequestTimeout
+	}
 	s.curReq = int64(r.ID)
 	s.curMet = RequestMetrics{Request: r.ID, TapesTouched: len(groups)}
 	met := &s.curMet
@@ -624,6 +810,11 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	for lib := range s.pending {
 		s.pending[lib] = s.pending[lib][:0]
 		s.pendHead[lib] = 0
+		if s.inj != nil {
+			s.retryQ[lib] = s.retryQ[lib][:0]
+			s.retryHead[lib] = 0
+			s.repairArmed[lib] = false
+		}
 	}
 	var mountedBytes int64
 	mounted := s.mountedSvc[:0]
@@ -682,7 +873,7 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 				break
 			}
 			d.claimed = true
-			sh.startSwitch(d, g)
+			sh.startSwitch(d, g, 0)
 		}
 		if s.pendHead[lib] < len(s.pending[lib]) {
 			// Remaining groups wait for serving drives to free up; require
@@ -696,15 +887,20 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 				}
 			}
 			if !hasSwitcher {
-				return RequestMetrics{}, fmt.Errorf(
-					"tapesys: library %d has offline requested tapes but no switchable drive", lib)
+				if s.inj == nil {
+					return RequestMetrics{}, fmt.Errorf(
+						"tapesys: library %d has offline requested tapes but no switchable drive", lib)
+				}
+				// Degraded mode: wait for a repair if one is scheduled,
+				// abandon the stranded groups otherwise (recovery.go).
+				sh.stall(lib)
 			}
 		}
 	}
 	// Kick off mounted services after switch dispatch so the claimed marks
 	// were complete; simulated start time is identical (same instant).
 	for _, ms := range mounted {
-		s.libs[ms.d.lib].sh.serve(ms.d, ms.g)
+		s.libs[ms.d.lib].sh.serve(ms.d, ms.g, 0)
 	}
 
 	// Arm the request latches and run each busy shard's event loop to
@@ -758,10 +954,24 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 				r.ID, sh.latch.Remaining())
 		}
 		met.Switches += sh.switches
+		met.BytesServed += sh.served
+		met.Retries += sh.retries
+		met.MediaErrors += sh.mediaErrors
+		met.FailedGroups += sh.failedGroups
+		met.FailedBytes += sh.failedBytes
 	}
 
-	// §6 metrics: response from the last-finishing drive.
+	// §6 metrics: response from the last-finishing drive. A timed-out
+	// request reports Response = RequestTimeout (the client gave up at the
+	// deadline) even though the mechanical work ran to completion and the
+	// clock advanced with it.
 	met.Response = end - t0
+	if end > s.deadline {
+		met.TimedOut = true
+		met.Response = s.opts.RequestTimeout
+		s.emitAt(trace.Event{Kind: trace.KindRequestTimedOut, Lib: -1, Drive: -1, Tape: -1,
+			Req: s.curReq, Bytes: met.BytesServed, Dur: s.opts.RequestTimeout}, s.deadline)
+	}
 	s.emitAt(trace.Event{Kind: trace.KindComplete, Lib: -1, Drive: -1, Tape: -1,
 		Req: s.curReq, Bytes: met.Bytes, Dur: met.Response}, end)
 	var last *driveAcct

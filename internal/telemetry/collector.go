@@ -61,6 +61,31 @@ type Collector struct {
 	// RequestBytes is the streaming histogram of request payload sizes
 	// (kind "complete", Bytes).
 	RequestBytes *Histogram
+
+	// Resilience series (docs/RESILIENCE.md); all stay zero on a
+	// failure-free run.
+
+	// DriveFailures counts drives taken out of service (kind
+	// "drive-failed", manual or injected).
+	DriveFailures *Counter
+	// DriveRepairs counts failed drives returned to service (kind
+	// "drive-repaired").
+	DriveRepairs *Counter
+	// RobotOutages counts robot-arm outages observed by switches (kind
+	// "robot-failed").
+	RobotOutages *Counter
+	// MediaErrors counts tape groups lost to permanent media errors (kind
+	// "media-error").
+	MediaErrors *Counter
+	// OpRetries counts fault-interrupted operations re-dispatched to
+	// surviving drives (kind "op-retried").
+	OpRetries *Counter
+	// RequestTimeouts counts requests that exceeded their deadline (kind
+	// "request-timeout").
+	RequestTimeouts *Counter
+	// FailedBytes sums the payload of tape groups lost to media errors
+	// (kind "media-error", Bytes).
+	FailedBytes *Counter
 }
 
 // NewCollector registers the standard series on reg and returns the
@@ -87,6 +112,13 @@ func NewCollector(reg *Registry) *Collector {
 			"full tape-switch latency distribution", HistogramOptions{}),
 		RequestBytes: reg.NewHistogram("tapesim_request_bytes",
 			"request payload size distribution", HistogramOptions{Min: 1, Max: 1e15}),
+		DriveFailures:   reg.NewCounter("tapesim_drive_failures_total", "drives taken out of service"),
+		DriveRepairs:    reg.NewCounter("tapesim_drive_repairs_total", "failed drives returned to service"),
+		RobotOutages:    reg.NewCounter("tapesim_robot_outages_total", "robot-arm outages observed by switches"),
+		MediaErrors:     reg.NewCounter("tapesim_media_errors_total", "tape groups lost to permanent media errors"),
+		OpRetries:       reg.NewCounter("tapesim_op_retries_total", "fault-interrupted operations re-dispatched"),
+		RequestTimeouts: reg.NewCounter("tapesim_request_timeouts_total", "requests that exceeded their deadline"),
+		FailedBytes:     reg.NewCounter("tapesim_failed_bytes_total", "payload bytes lost to media errors"),
 	}
 }
 
@@ -118,5 +150,20 @@ func (c *Collector) Record(ev trace.Event) {
 	case trace.KindResourceGrant:
 		c.RobotQueueDepth.Set(int64(ev.Queue))
 		c.RobotWaitSeconds.Add(ev.Dur)
+	case trace.KindDriveFailed:
+		c.DriveFailures.Inc()
+	case trace.KindDriveRepaired:
+		c.DriveRepairs.Inc()
+	case trace.KindRobotFailed:
+		c.RobotOutages.Inc()
+	case trace.KindMediaError:
+		c.MediaErrors.Inc()
+		if ev.Bytes > 0 {
+			c.FailedBytes.Add(uint64(ev.Bytes))
+		}
+	case trace.KindOpRetried:
+		c.OpRetries.Inc()
+	case trace.KindRequestTimedOut:
+		c.RequestTimeouts.Inc()
 	}
 }

@@ -61,8 +61,31 @@ const (
 	KindMounted Kind = "mounted"
 	// KindComplete marks request completion; Dur is the response time.
 	KindComplete Kind = "complete"
-	// KindDriveFailed marks a drive taken out of service.
+	// KindDriveFailed marks a drive taken out of service. Manual
+	// (FailDrive) failures carry Tape/Req −1; injected failures carry the
+	// interrupted request and, for mid-service failures, the tape being
+	// read (docs/RESILIENCE.md).
 	KindDriveFailed Kind = "drive-failed"
+	// KindDriveRepaired marks a failed drive returning to service, stamped
+	// at the instant the simulator observes the repair.
+	KindDriveRepaired Kind = "drive-repaired"
+	// KindRobotFailed marks a robot-arm outage observed by a switch
+	// holding the arm; Dur is the remaining outage the holder rides out.
+	KindRobotFailed Kind = "robot-failed"
+	// KindRobotRepaired marks the robot arm returning to service.
+	KindRobotRepaired Kind = "robot-repaired"
+	// KindMediaError marks a permanent media error: the read of Tape for
+	// Req is lost (Bytes = the abandoned group's payload, Dur = the time
+	// already spent in the failed service).
+	KindMediaError Kind = "media-error"
+	// KindOpRetried marks an interrupted tape-group operation being
+	// re-dispatched to a surviving drive; Queue is the attempt number
+	// (1 = first retry) and Dur the retry backoff applied.
+	KindOpRetried Kind = "op-retried"
+	// KindRequestTimedOut marks a request exceeding its timeout
+	// (Options.RequestTimeout); stamped at the deadline, with Bytes = the
+	// payload delivered by then and Dur = the timeout.
+	KindRequestTimedOut Kind = "request-timeout"
 
 	// KindResourceWait marks an acquire that found the resource busy and
 	// queued; Queue is the queue depth after enqueueing.

@@ -32,7 +32,9 @@ import (
 	"paralleltape/internal/analytic"
 	"paralleltape/internal/catalog"
 	"paralleltape/internal/cluster"
+	"paralleltape/internal/dist"
 	"paralleltape/internal/experiments"
+	"paralleltape/internal/faults"
 	"paralleltape/internal/metrics"
 	"paralleltape/internal/model"
 	"paralleltape/internal/placement"
@@ -83,9 +85,23 @@ type (
 	// ExperimentReport is one regenerated table/figure.
 	ExperimentReport = experiments.Report
 	// SimOptions tunes simulator scheduling (pending order, victim
-	// policy) and execution (engine shards); the zero value is the
-	// paper's behavior on a single engine.
+	// policy), execution (engine shards), and resilience (fault profile,
+	// request timeout, retry policy); the zero value is the paper's
+	// behavior on a single engine with no faults.
 	SimOptions = tapesys.Options
+	// FaultProfile configures seed-deterministic fault injection —
+	// stochastic drive/robot failures, scripted outages, media errors
+	// (docs/RESILIENCE.md). Attach via SimOptions.Faults.
+	FaultProfile = faults.Profile
+	// DriveOutage scripts one deterministic drive outage window.
+	DriveOutage = faults.DriveOutage
+	// RobotOutage scripts one deterministic robot-arm outage window.
+	RobotOutage = faults.RobotOutage
+	// MediaFault scripts one permanent media error at an exact read.
+	MediaFault = faults.MediaFault
+	// Exponential is an exponential repair/failure-time distribution for
+	// fault profiles.
+	Exponential = dist.Exponential
 	// AnalyticModel derives closed-form response estimates from a
 	// placement without simulating.
 	AnalyticModel = analytic.Model
@@ -223,6 +239,14 @@ func Simulate(hw Hardware, s Scheme, w *Workload, n int, seed uint64) (SessionSt
 		ms = append(ms, m)
 	}
 	return metrics.AggregateSession(ms), nil
+}
+
+// AggregateSession reduces per-request metrics to session statistics —
+// the paper's averages plus the degraded-mode availability accounting
+// (docs/RESILIENCE.md). Simulate calls it internally; use it directly
+// when driving a System request by request.
+func AggregateSession(ms []RequestMetrics) SessionStats {
+	return metrics.AggregateSession(ms)
 }
 
 // ClusterObjects runs the §5.1 hierarchical co-access clustering.
