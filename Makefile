@@ -17,12 +17,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# lint fails if an exported identifier in internal/trace or
-# internal/faults lacks a doc comment — the trace schema and the fault
-# models are documented contracts (docs/OBSERVABILITY.md,
-# docs/RESILIENCE.md).
+# lint fails if an exported identifier in internal/trace,
+# internal/faults, or internal/spans lacks a doc comment — the trace
+# schema, the fault models, and the span analysis are documented
+# contracts (docs/OBSERVABILITY.md, docs/RESILIENCE.md).
 lint:
-	$(GO) test ./internal/trace ./internal/faults -run TestExportedIdentifiersHaveDocComments -count=1
+	$(GO) test ./internal/trace ./internal/faults ./internal/spans -run TestExportedIdentifiersHaveDocComments -count=1
 
 # bench runs the paper-exhibit benchmarks at reduced scale.
 bench:

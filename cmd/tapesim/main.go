@@ -31,6 +31,7 @@ import (
 	"paralleltape/internal/model"
 	"paralleltape/internal/placement"
 	"paralleltape/internal/rng"
+	"paralleltape/internal/spans"
 	"paralleltape/internal/tapesys"
 	"paralleltape/internal/telemetry"
 	"paralleltape/internal/trace"
@@ -66,6 +67,7 @@ type options struct {
 	estimate    bool
 	describe    bool
 	events      int
+	explain     int // print the N slowest requests' causal span trees
 
 	// Fault-injection knobs (docs/RESILIENCE.md).
 	faults     bool
@@ -113,6 +115,8 @@ func main() {
 	flag.BoolVar(&o.describe, "describe", false, "print placement diagnostics before simulating")
 	flag.BoolVar(&o.estimate, "estimate", false, "print the analytic (no-simulation) estimate alongside")
 	flag.IntVar(&o.events, "events", 0, "print the first N simulator events")
+	flag.IntVar(&o.explain, "explain", 0,
+		"after the run, print the N slowest requests with their critical path and per-phase latency attribution (reconstructed from the event trace; same analysis as tapetrace slowest)")
 	flag.BoolVar(&o.faults, "faults", false,
 		"enable stochastic fault injection: drive/robot failures from -mtbf, media errors from -media-error (docs/RESILIENCE.md)")
 	flag.Float64Var(&o.mtbf, "mtbf", 40000,
@@ -295,9 +299,9 @@ func run(o options) error {
 		recs = append(recs, traceSink)
 	}
 	var buf *trace.Buffer
-	if o.report != "" || o.events > 0 {
+	if o.report != "" || o.events > 0 || o.explain > 0 {
 		limit := 0
-		if o.report == "" {
+		if o.report == "" && o.explain == 0 {
 			limit = o.events
 		}
 		buf = trace.NewBuffer(limit)
@@ -415,6 +419,16 @@ func run(o options) error {
 	}
 	if traceSink != nil {
 		if err := traceSink.Close(); err != nil {
+			return err
+		}
+	}
+	if o.explain > 0 && buf != nil {
+		sess, err := spans.Build(buf.Events)
+		if err != nil {
+			return fmt.Errorf("explain: %v", err)
+		}
+		fmt.Printf("\nslowest %d requests (critical-path attribution):\n\n", o.explain)
+		if err := spans.WriteSlowest(os.Stdout, sess, o.explain); err != nil {
 			return err
 		}
 	}

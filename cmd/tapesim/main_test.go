@@ -131,14 +131,15 @@ func TestRunTraceAndReportExports(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(cs, []byte("t,kind,lib,drive,tape,req,bytes,dur,queue,name\n")) {
+	if !bytes.HasPrefix(cs, []byte("t,kind,lib,drive,tape,req,span,bytes,dur,queue,name\n")) {
 		t.Errorf("csv trace header wrong: %.80s", cs)
 	}
 	rep, err := os.ReadFile(reportTxt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, frag := range []string{"run:", "components:", "per-drive timeline", "per-robot timeline"} {
+	for _, frag := range []string{"run:", "components:", "per-drive timeline", "per-robot timeline",
+		"per-phase breakdown (critical path)"} {
 		if !strings.Contains(string(rep), frag) {
 			t.Errorf("text report missing %q:\n%s", frag, rep)
 		}
@@ -147,7 +148,8 @@ func TestRunTraceAndReportExports(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, frag := range []string{"section,key,value", "run,requests,5", "drive,", "robot,"} {
+	for _, frag := range []string{"section,key,value", "run,requests,5", "drive,", "robot,",
+		"phase,name,total_s", "phase,seek,"} {
 		if !strings.Contains(string(repCSV), frag) {
 			t.Errorf("csv report missing %q:\n%s", frag, repCSV)
 		}
@@ -168,7 +170,7 @@ func TestRunCSVDetectionCaseInsensitive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(tr, []byte("t,kind,lib,drive,tape,req,bytes,dur,queue,name\n")) {
+	if !bytes.HasPrefix(tr, []byte("t,kind,lib,drive,tape,req,span,bytes,dur,queue,name\n")) {
 		t.Errorf("uppercase .CSV trace not written as CSV: %.80s", tr)
 	}
 	rep, err := os.ReadFile(reportUpper)
@@ -177,6 +179,36 @@ func TestRunCSVDetectionCaseInsensitive(t *testing.T) {
 	}
 	if !strings.Contains(string(rep), "section,key,value") {
 		t.Errorf("mixed-case .Csv report not written as CSV: %.80s", rep)
+	}
+}
+
+// TestRunExplain drives -explain and checks the causal stories land on
+// stdout: one block per requested request, each with a critical path.
+func TestRunExplain(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := runSmall(t, "parallel-batch", func(o *options) { o.explain = 2 })
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	text := string(out)
+	if got := strings.Count(text, "critical path:"); got != 2 {
+		t.Errorf("-explain 2 printed %d critical paths:\n%s", got, text)
+	}
+	for _, frag := range []string{"slowest 2 requests", "blame:", "seek"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("-explain output missing %q:\n%s", frag, text)
+		}
 	}
 }
 

@@ -503,7 +503,7 @@ func All(cfg Config) ([]*Report, error) {
 		{"fig8", Fig8}, {"fig9", Fig9}, {"tech", Tech},
 		{"robustness", Robustness}, {"ablation", Ablation},
 		{"striping", Striping}, {"online", Online}, {"scheduler", Scheduler},
-		{"sensitivity", Sensitivity}, {"chaos", Chaos},
+		{"sensitivity", Sensitivity}, {"chaos", Chaos}, {"phases", Phases},
 	}
 	var out []*Report
 	for _, f := range fns {
@@ -547,7 +547,9 @@ func ByID(id string, cfg Config) (*Report, error) {
 		return Sensitivity(cfg)
 	case "chaos":
 		return Chaos(cfg)
+	case "phases":
+		return Phases(cfg)
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (want table1, fig5..fig9, tech, robustness, ablation, striping, online, scheduler, sensitivity, chaos)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want table1, fig5..fig9, tech, robustness, ablation, striping, online, scheduler, sensitivity, chaos, phases)", id)
 	}
 }

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPhasesShape checks the critical-path attribution exhibit: all
+// three schemes produce a full blame table, the transfer blame share is
+// a valid fraction, and cluster probability — which serves whole
+// requests from few mounted tapes — carries at least as much transfer
+// blame as parallel batch, whose transfers overlap across drives.
+func TestPhasesShape(t *testing.T) {
+	rep, err := Phases(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("phases rows = %d, want 3", len(rep.Rows))
+	}
+	shares := map[string]float64{}
+	for _, r := range rep.Rows {
+		if r.X < 0 || r.X > 1 {
+			t.Errorf("%s: transfer blame share %v outside [0,1]", r.Scheme, r.X)
+		}
+		shares[r.Scheme] = r.X
+	}
+	if shares["cluster-probability"] < shares["parallel-batch"] {
+		t.Errorf("cluster-probability transfer blame %v below parallel-batch %v",
+			shares["cluster-probability"], shares["parallel-batch"])
+	}
+	var buf bytes.Buffer
+	if err := rep.Table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"robot-wait", "rewind", "seek", "transfer", "parallel-batch"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("phases table missing %q:\n%s", frag, buf.String())
+		}
+	}
+}
+
+// TestPhasesDeterministic renders the exhibit twice; the tables must be
+// byte-identical (the span analyzer inherits the runner's determinism
+// contract).
+func TestPhasesDeterministic(t *testing.T) {
+	render := func() string {
+		rep, err := Phases(quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Table.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("phases exhibit not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 
+	"paralleltape/internal/spans"
 	"paralleltape/internal/trace"
 )
 
@@ -71,6 +72,12 @@ type Timeline struct {
 	Drives []DriveTimeline // sorted by (library, drive)
 	Robots []RobotTimeline // sorted by library
 	Queues []QueueSeries   // sorted by resource name
+
+	// Phases is the critical-path phase attribution of the run,
+	// reconstructed from the same trace by internal/spans. Nil when the
+	// trace is not reconstructible (for example a ring buffer that dropped
+	// the head of the stream); the report then omits the phase section.
+	Phases *spans.Breakdown
 }
 
 // BuildTimeline reduces a trace to per-component timelines. Events must be
@@ -181,6 +188,11 @@ func BuildTimeline(events []trace.Event) *Timeline {
 		tl.Queues = append(tl.Queues, *q)
 	}
 	sort.Slice(tl.Queues, func(i, j int) bool { return tl.Queues[i].Name < tl.Queues[j].Name })
+	// Phase attribution is best-effort: a complete trace reconstructs into
+	// span trees, a truncated one (capped buffer) simply drops the section.
+	if sess, err := spans.Build(events); err == nil {
+		tl.Phases = spans.Aggregate(sess)
+	}
 	return tl
 }
 
@@ -235,6 +247,24 @@ func (tl *Timeline) WriteText(w io.Writer) error {
 	if err := rt.Render(w); err != nil {
 		return err
 	}
+	if tl.Phases != nil {
+		pt := NewTable("\nper-phase breakdown (critical path)",
+			"phase", "total_s", "share%", "mean_s", "p50_s", "p95_s")
+		for _, p := range spans.AllPhases() {
+			d := tl.Phases.Phases[p]
+			pt.AddRow(
+				p.String(),
+				fmt.Sprintf("%.2f", d.Total),
+				fmt.Sprintf("%.2f", 100*tl.Phases.Share(p)),
+				fmt.Sprintf("%.2f", d.Mean),
+				fmt.Sprintf("%.2f", d.P50),
+				fmt.Sprintf("%.2f", d.P95),
+			)
+		}
+		if err := pt.Render(w); err != nil {
+			return err
+		}
+	}
 	for _, q := range tl.Queues {
 		peak := 0
 		for _, s := range q.Samples {
@@ -279,6 +309,18 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "robot,%d,%d,%g,%g,%g,%d\n",
 			r.Library, r.Grants, r.MoveSeconds, r.HoldSeconds, r.WaitSeconds, r.MaxQueue); err != nil {
 			return err
+		}
+	}
+	if tl.Phases != nil {
+		if _, err := fmt.Fprintln(w, "phase,name,total_s,share,mean_s,p50_s,p95_s,p99_s,max_s"); err != nil {
+			return err
+		}
+		for _, p := range spans.AllPhases() {
+			d := tl.Phases.Phases[p]
+			if _, err := fmt.Fprintf(w, "phase,%s,%g,%g,%g,%g,%g,%g,%g\n",
+				p.String(), d.Total, tl.Phases.Share(p), d.Mean, d.P50, d.P95, d.P99, d.Max); err != nil {
+				return err
+			}
 		}
 	}
 	if _, err := fmt.Fprintln(w, "queue,name,t_s,depth"); err != nil {

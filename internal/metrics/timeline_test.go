@@ -10,22 +10,24 @@ import (
 
 // timelineEvents is a hand-built trace: one request, two drives in
 // library 0 (drive 0 serves from a mounted tape, drive 1 switches first),
-// with robot contention samples.
+// with robot contention samples. Operation events carry span IDs so the
+// phase-attribution section reconstructs: the critical chain is drive 1's
+// switch (robot-wait 3 + move 2) into its serve (seek 0.5 + transfer 20).
 func timelineEvents() []trace.Event {
 	return []trace.Event{
 		{T: 0, Kind: trace.KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: 0, Bytes: 300},
-		{T: 0, Kind: trace.KindSeek, Lib: 0, Drive: 0, Tape: 0, Req: 0, Dur: 1},
-		{T: 0, Kind: trace.KindTransfer, Lib: 0, Drive: 0, Tape: 0, Req: 0, Bytes: 100, Dur: 10},
+		{T: 0, Kind: trace.KindSeek, Lib: 0, Drive: 0, Tape: 0, Req: 0, Span: 100, Dur: 1},
+		{T: 0, Kind: trace.KindTransfer, Lib: 0, Drive: 0, Tape: 0, Req: 0, Span: 100, Bytes: 100, Dur: 10},
 		{T: 0, Kind: trace.KindResourceWait, Lib: -1, Drive: -1, Tape: -1, Req: -1, Queue: 1, Name: "robot-0"},
 		{T: 0, Kind: trace.KindResourceGrant, Lib: -1, Drive: -1, Tape: -1, Req: -1, Name: "robot-0"},
-		{T: 0, Kind: trace.KindRobot, Lib: 0, Drive: 1, Tape: 3, Req: 0, Dur: 2},
+		{T: 0, Kind: trace.KindRobot, Lib: 0, Drive: 1, Tape: 3, Req: 0, Span: 201, Dur: 2},
 		{T: 2, Kind: trace.KindResourceRelease, Lib: -1, Drive: -1, Tape: -1, Req: -1, Dur: 2, Name: "robot-0"},
 		{T: 2, Kind: trace.KindResourceGrant, Lib: -1, Drive: -1, Tape: -1, Req: -1, Dur: 2, Queue: 0, Name: "robot-0"},
-		{T: 5, Kind: trace.KindMounted, Lib: 0, Drive: 1, Tape: 3, Req: 0, Dur: 5},
-		{T: 5, Kind: trace.KindSeek, Lib: 0, Drive: 1, Tape: 3, Req: 0, Dur: 0.5},
-		{T: 5, Kind: trace.KindTransfer, Lib: 0, Drive: 1, Tape: 3, Req: 0, Bytes: 200, Dur: 20},
-		{T: 11, Kind: trace.KindServeEnd, Lib: 0, Drive: 0, Tape: 0, Req: 0, Bytes: 100, Dur: 11},
-		{T: 25.5, Kind: trace.KindServeEnd, Lib: 0, Drive: 1, Tape: 3, Req: 0, Bytes: 200, Dur: 20.5},
+		{T: 5, Kind: trace.KindMounted, Lib: 0, Drive: 1, Tape: 3, Req: 0, Span: 201, Dur: 5},
+		{T: 5, Kind: trace.KindSeek, Lib: 0, Drive: 1, Tape: 3, Req: 0, Span: 202, Dur: 0.5},
+		{T: 5, Kind: trace.KindTransfer, Lib: 0, Drive: 1, Tape: 3, Req: 0, Span: 202, Bytes: 200, Dur: 20},
+		{T: 11, Kind: trace.KindServeEnd, Lib: 0, Drive: 0, Tape: 0, Req: 0, Span: 100, Bytes: 100, Dur: 11},
+		{T: 25.5, Kind: trace.KindServeEnd, Lib: 0, Drive: 1, Tape: 3, Req: 0, Span: 202, Bytes: 200, Dur: 20.5},
 		{T: 25.5, Kind: trace.KindComplete, Lib: -1, Drive: -1, Tape: -1, Req: 0, Bytes: 300, Dur: 25.5},
 	}
 }
@@ -75,7 +77,8 @@ func TestTimelineRendering(t *testing.T) {
 	if err := tl.WriteText(&txt); err != nil {
 		t.Fatal(err)
 	}
-	for _, frag := range []string{"run: 1 requests", "components:", "L0.D0", "L0.D1", "per-robot timeline", "queue robot-0"} {
+	for _, frag := range []string{"run: 1 requests", "components:", "L0.D0", "L0.D1", "per-robot timeline",
+		"per-phase breakdown (critical path)", "robot-move", "repair-stall", "queue robot-0"} {
 		if !strings.Contains(txt.String(), frag) {
 			t.Errorf("text report missing %q:\n%s", frag, txt.String())
 		}
@@ -84,7 +87,8 @@ func TestTimelineRendering(t *testing.T) {
 	if err := tl.WriteCSV(&csv); err != nil {
 		t.Fatal(err)
 	}
-	for _, frag := range []string{"section,key,value", "run,requests,1", "component,seek_s,1.5", "drive,0,1,", "robot,0,2,2,2,2,1", "queue,robot-0,0,1"} {
+	for _, frag := range []string{"section,key,value", "run,requests,1", "component,seek_s,1.5", "drive,0,1,",
+		"robot,0,2,2,2,2,1", "phase,name,total_s", "phase,robot-move,2,", "phase,transfer,20,", "queue,robot-0,0,1"} {
 		if !strings.Contains(csv.String(), frag) {
 			t.Errorf("csv report missing %q:\n%s", frag, csv.String())
 		}

@@ -1,0 +1,169 @@
+package spans
+
+// Rendering: fixed-format text and CSV views over breakdowns, critical
+// paths, and derived time series. Every renderer prints with fixed
+// precision and canonical ordering so output is byte-identical for
+// byte-identical inputs — the tapetrace CLI, tapesim -explain, and the CI
+// golden diff all share these functions.
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteBreakdown renders a session phase breakdown as a fixed-width text
+// table: a run header, the response-time distribution, and one row per
+// phase with its critical-path blame share and distribution.
+func WriteBreakdown(w io.Writer, b *Breakdown) error {
+	if _, err := fmt.Fprintf(w, "requests: %d  timed-out: %d  events: %d  horizon: %.2fs\n",
+		b.Requests, b.TimedOut, b.Events, b.Horizon); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "response (s): mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n\n",
+		b.Response.Mean, b.Response.P50, b.Response.P95, b.Response.P99, b.Response.Max); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-14s %10s %8s %10s %10s %10s %10s\n",
+		"phase", "total-s", "share", "mean-s", "p50-s", "p95-s", "max-s"); err != nil {
+		return err
+	}
+	for _, p := range AllPhases() {
+		d := b.Phases[p]
+		if _, err := fmt.Fprintf(w, "%-14s %10.2f %7.2f%% %10.2f %10.2f %10.2f %10.2f\n",
+			p.String(), d.Total, 100*b.Share(p), d.Mean, d.P50, d.P95, d.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBreakdownCSV renders the phase breakdown as CSV with a fixed
+// header: one row per phase, preceded by summary rows.
+func WriteBreakdownCSV(w io.Writer, b *Breakdown) error {
+	if _, err := fmt.Fprintln(w, "phase,total_s,share,mean_s,p50_s,p95_s,p99_s,max_s"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "response,%.4f,,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+		b.Response.Total, b.Response.Mean, b.Response.P50, b.Response.P95, b.Response.P99, b.Response.Max); err != nil {
+		return err
+	}
+	for _, p := range AllPhases() {
+		d := b.Phases[p]
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			p.String(), d.Total, b.Share(p), d.Mean, d.P50, d.P95, d.P99, d.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSlowest renders the k slowest requests with their phase blame, one
+// block per request, each followed by its critical path.
+func WriteSlowest(w io.Writer, s *Session, k int) error {
+	for i, r := range s.Slowest(k) {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := WriteExplain(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteExplain renders one request's causal story: the header line, the
+// phase attribution, and the critical path step by step.
+func WriteExplain(w io.Writer, r *Request) error {
+	status := ""
+	if r.TimedOut {
+		status = "  TIMED-OUT"
+	}
+	if _, err := fmt.Fprintf(w, "request %d: response %.2fs  bytes %d  ops %d  events %d%s\n",
+		r.ID, r.Response, r.Bytes, len(r.Ops), r.Events, status); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  submitted %.2fs  finished %.2fs  span %.2fs\n",
+		r.Submit, r.End, r.Wall()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(w, "  blame:"); err != nil {
+		return err
+	}
+	for _, p := range AllPhases() {
+		// Skip phases below the %.2f display precision: a float-rounding
+		// residual of ~1e-13 would otherwise print as a confusing "0.00s".
+		if r.PhaseTotals[p] < 0.005 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, " %s %.2fs", p.String(), r.PhaseTotals[p]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  critical path:"); err != nil {
+		return err
+	}
+	for _, st := range r.Critical {
+		if err := writeStep(w, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeStep renders one critical-path step line.
+func writeStep(w io.Writer, st Step) error {
+	if st.Op == nil {
+		_, err := fmt.Fprintf(w, "    %8.2f .. %8.2f  %-12s %.2fs\n",
+			st.Start, st.End, st.Phase.String(), st.End-st.Start)
+		return err
+	}
+	op := st.Op
+	kind := "switch"
+	detail := fmt.Sprintf("tape %d", op.TargetTape())
+	if op.Serve {
+		kind = "serve"
+		detail = fmt.Sprintf("tape %d  seek %.2fs  transfer %.2fs  bytes %d",
+			op.Tape, op.Seek, op.Transfer, op.Bytes)
+	}
+	flags := ""
+	if op.Retried {
+		flags += "  interrupted"
+	}
+	if op.MediaError {
+		flags += "  media-error"
+	}
+	if op.Failed {
+		flags += "  drive-failed"
+	}
+	if op.Attempt > 0 {
+		flags += fmt.Sprintf("  retry#%d", op.Attempt)
+	}
+	_, err := fmt.Fprintf(w, "    %8.2f .. %8.2f  %-12s %s  %s%s\n",
+		st.Start, st.End, kind, driveName(op.Lib, op.Drive), detail, flags)
+	return err
+}
+
+// WriteTimelineCSV renders the session's derived time series as CSV: the
+// robot queue-depth samples followed by the component busy intervals.
+// Rows are tagged by series so one file carries both.
+func WriteTimelineCSV(w io.Writer, s *Session) error {
+	if _, err := fmt.Fprintln(w, "series,name,t,depth,start,end"); err != nil {
+		return err
+	}
+	for _, pt := range s.QueueDepthPoints() {
+		if _, err := fmt.Fprintf(w, "queue,%s,%.4f,%d,,\n", pt.Name, pt.T, pt.Depth); err != nil {
+			return err
+		}
+	}
+	for _, iv := range s.BusyIntervals() {
+		if _, err := fmt.Fprintf(w, "busy,%s,,,%.4f,%.4f\n", iv.Name, iv.Start, iv.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}

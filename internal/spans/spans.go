@@ -1,0 +1,400 @@
+// Package spans reconstructs causal span trees from the simulator's flat
+// trace-event stream (internal/trace) and attributes each request's
+// latency to its mechanical phases.
+//
+// The simulator serves one request at a time (the paper's zero-queueing
+// assumption), and every operation-scoped event carries a span ID assigned
+// deterministically per drive, so reconstruction needs no heuristics:
+//
+//   - the submit event opens a request window and the complete event
+//     closes it; every event of the request — including robot contention
+//     events that carry no request ID — lies between the two in any
+//     recorder stream, sharded or not;
+//   - events with a span ID group into operations: a serve (seek +
+//     transfer on one drive) or a switch chain (rewind → robot wait →
+//     robot move → load → mounted), including the degraded-mode endings
+//     of docs/RESILIENCE.md (drive failures, media errors, retries);
+//   - op-retried events link an interrupted operation to the operation
+//     that re-dispatched its tape group, so retry chains are explicit
+//     edges, not guesses.
+//
+// Build consumes a stream and returns a Session of fully analyzed
+// Requests: per-operation phase decompositions, the critical path (the
+// chain of operations and waits that actually bounded the response time),
+// and per-phase latency attribution whose sum equals the request's
+// mechanical span. Every event is claimed by exactly one request (or the
+// boundary bucket for events between requests, or the latch tally for
+// shard-join markers); an unclaimable event is an error, not a silent
+// drop.
+//
+// Because span IDs and event timestamps are identical at every shard
+// count, the reconstruction — and everything derived from it, including
+// the cmd/tapetrace breakdown tables — is byte-identical for shards
+// {0,1,2,4,...} even though the raw cross-shard event interleaving is
+// scheduling-dependent.
+package spans
+
+import (
+	"fmt"
+	"slices"
+
+	"paralleltape/internal/trace"
+)
+
+// Op is one reconstructed drive operation: a serve (seek + transfer of
+// one tape group) or a switch chain (rewind → robot → load → mounted).
+type Op struct {
+	// Span is the operation's trace span ID (opaque, unique per run).
+	Span int64
+	// Serve is true for a seek+transfer service, false for a switch chain.
+	Serve bool
+	// Lib is the library index of the operating drive.
+	Lib int
+	// Drive is the library-local index of the operating drive.
+	Drive int
+	// Tape is the library-local tape index the operation targeted, -1 when
+	// the operation aborted before any event revealed it.
+	Tape int
+	// Start is the simulated time the operation began.
+	Start float64
+	// End is the simulated time the operation ended (completion, failure,
+	// or its last observed event).
+	End float64
+	// Bytes is the payload of the tape group being served (serves only).
+	Bytes int64
+	// Seek is the planned seek time of a serve.
+	Seek float64
+	// Transfer is the planned transfer time of a serve.
+	Transfer float64
+	// Rewind is the planned rewind+unload time of a switch (0 when the
+	// drive was empty).
+	Rewind float64
+	// RobotMove is the planned robot stow+fetch motion time of a switch.
+	RobotMove float64
+	// Load is the planned load+thread time of a switch.
+	Load float64
+	// RobotOutage is the robot-arm outage time this switch rode out while
+	// holding the arm (kind "robot-failed").
+	RobotOutage float64
+	// Done is true when a serve finished normally (kind "serve-end").
+	Done bool
+	// Mounted is true when a switch completed its mount (kind "mounted").
+	Mounted bool
+	// Failed is true when the operation ended with its drive failing
+	// (kind "drive-failed" carrying this span).
+	Failed bool
+	// MediaError is true when a serve ended on a permanent media error.
+	MediaError bool
+	// Retried is true when this operation's tape group was re-dispatched
+	// after the operation was interrupted (kind "op-retried").
+	Retried bool
+	// RetryOf points at the interrupted operation this one re-dispatched,
+	// nil for first dispatches.
+	RetryOf *Op
+	// Attempt is the 1-based retry attempt number when RetryOf is set.
+	Attempt int
+	// Events counts the trace events claimed by this operation.
+	Events int
+
+	lastT    float64
+	tapeHint int // target tape revealed by the op's own retry edge
+}
+
+// Elapsed returns the operation's wall-clock span in simulated seconds.
+func (op *Op) Elapsed() float64 { return op.End - op.Start }
+
+// TargetTape returns the operation's target tape, falling back to the
+// tape named by its retry edge when the operation aborted before any
+// stage revealed it; -1 when unknown.
+func (op *Op) TargetTape() int {
+	if op.Tape >= 0 {
+		return op.Tape
+	}
+	return op.tapeHint
+}
+
+// retryEdge is one op-retried event: the interrupted span and the group
+// it re-dispatched.
+type retryEdge struct {
+	t       float64
+	lib     int
+	tape    int
+	span    int64
+	attempt int
+}
+
+// Request is one reconstructed request: its lifecycle, every operation
+// executed on its behalf, and the critical-path phase attribution.
+type Request struct {
+	// ID is the request ID.
+	ID int64
+	// Submit is the simulated submission time.
+	Submit float64
+	// End is the simulated time the mechanical work finished (the
+	// complete event's timestamp).
+	End float64
+	// Response is the reported response time (§6); it equals End − Submit
+	// unless the request timed out, in which case it is the timeout.
+	Response float64
+	// Bytes is the request's total payload.
+	Bytes int64
+	// BytesServed is the payload delivered by the deadline of a timed-out
+	// request (equals Bytes otherwise).
+	BytesServed int64
+	// TimedOut is true when the request exceeded its deadline.
+	TimedOut bool
+	// Ops lists every operation run for this request, sorted by
+	// (library, drive, start time, span).
+	Ops []*Op
+	// Incidents holds request-scoped degraded-mode events not tied to an
+	// operation span (e.g. drive failures observed between operations,
+	// mid-request repairs).
+	Incidents []trace.Event
+	// Contention holds the robot-queue and latch events that occurred
+	// inside the request's window.
+	Contention []trace.Event
+	// Critical is the request's critical path: the chronological chain of
+	// operations and waits that bounded End − Submit.
+	Critical []Step
+	// PhaseTotals is the critical-path latency attribution; the entries
+	// sum to End − Submit (up to floating-point rounding).
+	PhaseTotals [NumPhases]float64
+	// Events counts every trace event claimed by this request.
+	Events int
+
+	edges []retryEdge
+	ops   map[int64]*Op
+}
+
+// Wall returns the request's mechanical wall-clock span End − Submit
+// (equal to Response unless the request timed out).
+func (r *Request) Wall() float64 { return r.End - r.Submit }
+
+// Session is the reconstruction of one trace: every request in
+// submission order plus the events that fell between request windows.
+type Session struct {
+	// Requests holds the reconstructed requests in submission order.
+	Requests []*Request
+	// Boundary holds events outside any request window: fault sweeps at
+	// request boundaries and manual drive failures between requests.
+	Boundary []trace.Event
+	// Events is the number of events analyzed: every event consumed except
+	// the shard-join latch markers counted in Latches.
+	Events int
+	// Latches counts latch-open events. They are claimed but excluded from
+	// all analysis and counters: one fires per engine shard per request, so
+	// their multiplicity is a scheduling artifact, and including them would
+	// break the shard-count invariance of every derived output.
+	Latches int
+}
+
+// Build reconstructs a Session from a trace-event stream in recorder
+// order (in-memory buffer or trace.ParseJSONL output). Every event must
+// be claimable under the schema's windowing rules; a span event outside a
+// request window, a mismatched request ID, or an unterminated window is
+// an error.
+func Build(events []trace.Event) (*Session, error) {
+	s := &Session{}
+	var cur *Request
+	for i, ev := range events {
+		switch {
+		case ev.Kind == trace.KindLatchOpen:
+			s.Latches++
+			continue
+		case ev.Kind == trace.KindSubmit:
+			if cur != nil {
+				return nil, fmt.Errorf("spans: event %d: submit of request %d inside open request %d", i, ev.Req, cur.ID)
+			}
+			cur = &Request{ID: ev.Req, Submit: ev.T, ops: make(map[int64]*Op)}
+			cur.Events++
+		case ev.Kind == trace.KindComplete:
+			if cur == nil || cur.ID != ev.Req {
+				return nil, fmt.Errorf("spans: event %d: complete of request %d without matching submit", i, ev.Req)
+			}
+			cur.Events++
+			cur.End = ev.T
+			cur.Response = ev.Dur
+			cur.Bytes = ev.Bytes
+			if !cur.TimedOut {
+				cur.BytesServed = ev.Bytes
+			}
+			cur.finalize()
+			s.Requests = append(s.Requests, cur)
+			cur = nil
+		case ev.Kind == trace.KindRequestTimedOut:
+			if cur == nil || cur.ID != ev.Req {
+				return nil, fmt.Errorf("spans: event %d: request-timeout outside request %d's window", i, ev.Req)
+			}
+			cur.Events++
+			cur.TimedOut = true
+			cur.BytesServed = ev.Bytes
+		case ev.Span != 0:
+			if cur == nil {
+				return nil, fmt.Errorf("spans: event %d: span %d event %q outside any request window", i, ev.Span, ev.Kind)
+			}
+			if ev.Req >= 0 && ev.Req != cur.ID {
+				return nil, fmt.Errorf("spans: event %d: request %d event inside request %d's window", i, ev.Req, cur.ID)
+			}
+			cur.claimOp(ev)
+		case ev.Req >= 0:
+			if cur == nil || cur.ID != ev.Req {
+				return nil, fmt.Errorf("spans: event %d: request %d event %q outside its window", i, ev.Req, ev.Kind)
+			}
+			cur.Events++
+			cur.Incidents = append(cur.Incidents, ev)
+		case cur != nil:
+			cur.Events++
+			cur.Contention = append(cur.Contention, ev)
+		default:
+			s.Boundary = append(s.Boundary, ev)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("spans: request %d has no complete event", cur.ID)
+	}
+	s.Events = len(events) - s.Latches
+	return s, nil
+}
+
+// claimOp folds one span-carrying event into its request's operation.
+func (r *Request) claimOp(ev trace.Event) {
+	op := r.ops[ev.Span]
+	if op == nil {
+		op = &Op{Span: ev.Span, Lib: ev.Lib, Drive: ev.Drive, Tape: -1, tapeHint: -1, Start: ev.T}
+		r.ops[ev.Span] = op
+		r.Ops = append(r.Ops, op)
+	}
+	r.Events++
+	op.Events++
+	if ev.T > op.lastT {
+		op.lastT = ev.T
+	}
+	switch ev.Kind {
+	case trace.KindServeStart:
+		op.Serve = true
+		op.Start = ev.T
+		op.Tape = ev.Tape
+		op.Bytes = ev.Bytes
+	case trace.KindSeek:
+		op.Serve = true
+		op.Seek = ev.Dur
+	case trace.KindTransfer:
+		op.Serve = true
+		op.Transfer = ev.Dur
+	case trace.KindServeEnd:
+		op.Done = true
+		op.End = ev.T
+	case trace.KindRewind:
+		op.Start = ev.T
+		op.Rewind = ev.Dur
+	case trace.KindRobot:
+		op.Tape = ev.Tape
+		op.RobotMove = ev.Dur
+	case trace.KindLoad:
+		op.Tape = ev.Tape
+		op.Load = ev.Dur
+	case trace.KindMounted:
+		op.Tape = ev.Tape
+		op.Mounted = true
+		op.End = ev.T
+	case trace.KindRobotFailed:
+		op.RobotOutage += ev.Dur
+	case trace.KindMediaError:
+		op.MediaError = true
+		op.End = ev.T
+	case trace.KindDriveFailed:
+		op.Failed = true
+		op.End = ev.T
+	case trace.KindOpRetried:
+		op.Retried = true
+		op.tapeHint = ev.Tape
+		r.edges = append(r.edges, retryEdge{t: ev.T, lib: ev.Lib, tape: ev.Tape, span: ev.Span, attempt: ev.Queue})
+	}
+}
+
+// finalize closes a request at its complete event: operation end times
+// are settled, operations sorted into a deterministic order, retry edges
+// resolved into links, and the critical path computed.
+func (r *Request) finalize() {
+	for _, op := range r.Ops {
+		if !op.Done && !op.Mounted && !op.Failed && !op.MediaError {
+			op.End = op.lastT
+		}
+	}
+	slices.SortFunc(r.Ops, func(a, b *Op) int {
+		if a.Lib != b.Lib {
+			return a.Lib - b.Lib
+		}
+		if a.Drive != b.Drive {
+			return a.Drive - b.Drive
+		}
+		if a.Start != b.Start {
+			if a.Start < b.Start {
+				return -1
+			}
+			return 1
+		}
+		if a.Span < b.Span {
+			return -1
+		}
+		if a.Span > b.Span {
+			return 1
+		}
+		return 0
+	})
+	r.linkRetries()
+	r.computeCritical()
+}
+
+// linkRetries connects each op-retried edge to the operation that
+// re-dispatched the interrupted group: the earliest-starting unlinked
+// switch in the same library targeting the same tape at or after the
+// retry instant. An edge may stay unlinked when the retry was abandoned
+// in queue (no surviving drive ever picked it up). The resolution only
+// reads deterministic fields (timestamps, indices, span IDs), so links
+// are identical at every shard count.
+func (r *Request) linkRetries() {
+	if len(r.edges) == 0 {
+		return
+	}
+	slices.SortFunc(r.edges, func(a, b retryEdge) int {
+		if a.t != b.t {
+			if a.t < b.t {
+				return -1
+			}
+			return 1
+		}
+		if a.lib != b.lib {
+			return a.lib - b.lib
+		}
+		if a.tape != b.tape {
+			return a.tape - b.tape
+		}
+		if a.span < b.span {
+			return -1
+		}
+		if a.span > b.span {
+			return 1
+		}
+		return 0
+	})
+	for _, e := range r.edges {
+		failed := r.ops[e.span]
+		var best *Op
+		for _, op := range r.Ops {
+			if op.Serve || op.RetryOf != nil || op.Lib != e.lib || op.Span == e.span {
+				continue
+			}
+			if op.Start < e.t || op.TargetTape() != e.tape {
+				continue
+			}
+			if best == nil || op.Start < best.Start || (op.Start == best.Start && op.Span < best.Span) {
+				best = op
+			}
+		}
+		if best != nil && failed != nil {
+			best.RetryOf = failed
+			best.Attempt = e.attempt
+		}
+	}
+}

@@ -113,7 +113,7 @@ func TestTraceCSVDeterminism(t *testing.T) {
 	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
 		t.Error("CSV export not deterministic")
 	}
-	if !bytes.HasPrefix(c1.Bytes(), []byte("t,kind,lib,drive,tape,req,bytes,dur,queue,name\n")) {
+	if !bytes.HasPrefix(c1.Bytes(), []byte("t,kind,lib,drive,tape,req,span,bytes,dur,queue,name\n")) {
 		t.Errorf("CSV header wrong: %.80s", c1.Bytes())
 	}
 }

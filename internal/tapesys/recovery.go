@@ -68,7 +68,7 @@ func (sh *shard) armServeFaults(op *serveOp, span float64) float64 {
 // counts as busy time; the payload does not count as served.
 func (op *serveOp) interrupted() {
 	sh, d, g := op.sh, op.d, op.g
-	mode, start, attempts := op.mode, op.start, op.attempts
+	mode, start, attempts, span := op.mode, op.start, op.attempts, op.span
 	sh.putServeOp(op)
 	now := sh.eng.Now()
 	elapsed := now - start
@@ -82,18 +82,18 @@ func (op *serveOp) interrupted() {
 		sh.mediaErrors++
 		sh.totalMediaErrors++
 		sh.emit(trace.Event{Kind: trace.KindMediaError, Lib: d.lib, Drive: d.idx,
-			Tape: g.Tape.Index, Req: s.curReq, Bytes: g.Bytes, Dur: elapsed})
+			Tape: g.Tape.Index, Req: s.curReq, Span: span, Bytes: g.Bytes, Dur: elapsed})
 		sh.failGroup(g)
 		sh.afterService(d)
 		return
 	}
 	if !d.failed {
 		_, until := s.inj.DriveDown(d.gidx, now)
-		sh.observeDriveFailure(d, until, g.Tape.Index, s.curReq)
+		sh.observeDriveFailure(d, until, g.Tape.Index, s.curReq, span)
 	} else if d.mounted >= 0 {
 		sh.evictMounted(d)
 	}
-	sh.retryGroup(g, attempts)
+	sh.retryGroup(g, attempts, span)
 }
 
 // abortIfDown is the switch-stage boundary check: if the switching drive
@@ -111,11 +111,11 @@ func (op *switchOp) abortIfDown() bool {
 		if !down {
 			return false
 		}
-		sh.observeDriveFailure(d, until, op.g.Tape.Index, s.curReq)
+		sh.observeDriveFailure(d, until, op.g.Tape.Index, s.curReq, op.span)
 	} else if d.mounted >= 0 {
 		sh.evictMounted(d)
 	}
-	g, attempts := op.g, op.attempts
+	g, attempts, span := op.g, op.attempts, op.span
 	d.busy = false
 	d.switchSeconds += sh.eng.Now() - op.switchBegin
 	if op.grant != nil {
@@ -126,7 +126,7 @@ func (op *switchOp) abortIfDown() bool {
 		op.grant = nil
 	}
 	sh.putSwitchOp(op)
-	sh.retryGroup(g, attempts)
+	sh.retryGroup(g, attempts, span)
 	return true
 }
 
@@ -134,8 +134,10 @@ func (op *switchOp) abortIfDown() bool {
 // the simulation first observes its (injected) failure window: the
 // mounted cartridge is returned to its cell, a pinned drive loses its pin
 // (its dedicated cartridge is evicted with it), and repairAt records when
-// sweepFaults or a repair wakeup may return it to service.
-func (sh *shard) observeDriveFailure(d *drive, repairAt float64, tapeCtx int, req int64) {
+// sweepFaults or a repair wakeup may return it to service. span is the
+// trace span of the operation the failure interrupted (0 when the failure
+// was observed between operations).
+func (sh *shard) observeDriveFailure(d *drive, repairAt float64, tapeCtx int, req int64, span int64) {
 	d.failed = true
 	d.manual = false
 	d.pinned = false
@@ -144,7 +146,7 @@ func (sh *shard) observeDriveFailure(d *drive, repairAt float64, tapeCtx int, re
 		sh.evictMounted(d)
 	}
 	sh.emit(trace.Event{Kind: trace.KindDriveFailed, Lib: d.lib, Drive: d.idx,
-		Tape: tapeCtx, Req: req, Dur: repairAt - sh.eng.Now()})
+		Tape: tapeCtx, Req: req, Span: span, Dur: repairAt - sh.eng.Now()})
 }
 
 // evictMounted returns a drive's mounted cartridge to its library cell
@@ -167,8 +169,10 @@ func (sh *shard) failGroup(g catalog.TapeGroup) {
 
 // retryGroup re-dispatches a fault-interrupted group: after the configured
 // backoff it joins the library's retry queue and an idle surviving drive
-// picks it up. Past the retry bound the group is abandoned.
-func (sh *shard) retryGroup(g catalog.TapeGroup, attempts int) {
+// picks it up. Past the retry bound the group is abandoned. span is the
+// trace span of the failed operation, so the retry edge links the
+// abandoned chain to its successor in span reconstruction.
+func (sh *shard) retryGroup(g catalog.TapeGroup, attempts int, span int64) {
 	s := sh.sys
 	if attempts+1 > s.maxRetries() {
 		sh.failGroup(g)
@@ -178,7 +182,7 @@ func (sh *shard) retryGroup(g catalog.TapeGroup, attempts int) {
 	sh.totalRetries++
 	backoff := s.opts.RetryBackoff
 	sh.emit(trace.Event{Kind: trace.KindOpRetried, Lib: g.Tape.Library, Drive: -1,
-		Tape: g.Tape.Index, Req: s.curReq, Bytes: g.Bytes, Dur: backoff, Queue: attempts + 1})
+		Tape: g.Tape.Index, Req: s.curReq, Span: span, Bytes: g.Bytes, Dur: backoff, Queue: attempts + 1})
 	lib, next := g.Tape.Library, attempts+1
 	sh.eng.Schedule(backoff, func() {
 		s.retryQ[lib] = append(s.retryQ[lib], retryEntry{g: g, attempts: next})

@@ -109,11 +109,25 @@ type drive struct {
 	// synchronous dispatch phase.
 	claimed bool
 
+	// spanSeq numbers this drive's operations (serves and switch chains)
+	// for trace span IDs; see nextSpan.
+	spanSeq int64
+
 	// lifetime accounting
 	busySeconds   float64
 	switchSeconds float64
 	bytesMoved    int64
 	mounts        int
+}
+
+// nextSpan allocates the next operation span ID for this drive: the global
+// drive index in the high 31 bits, a per-drive sequence number in the low
+// 32. IDs are unique within a run and opaque to consumers; because each
+// drive executes its operations in a deterministic order regardless of
+// sharding, the same operation gets the same span ID at every shard count.
+func (d *drive) nextSpan() int64 {
+	d.spanSeq++
+	return int64(d.gidx+1)<<32 | d.spanSeq
 }
 
 // library is the persistent state of one tape library.
@@ -454,6 +468,9 @@ type serveOp struct {
 	g    catalog.TapeGroup
 	plan tape.ReadPlan
 	fn   func()
+	// span is the trace span ID of this service (drive.nextSpan), carried
+	// onto every event the op emits.
+	span int64
 
 	// Recovery-layer state (recovery.go): mode says whether the injector
 	// cut this service short and how, start is the schedule instant for
@@ -505,7 +522,7 @@ func (op *serveOp) finish() {
 		op.interrupted()
 		return
 	}
-	sh, d, g, plan := op.sh, op.d, op.g, op.plan
+	sh, d, g, plan, span := op.sh, op.d, op.g, op.plan, op.span
 	sh.putServeOp(op)
 	d.busy = false
 	d.headPos = plan.EndPos
@@ -522,7 +539,7 @@ func (op *serveOp) finish() {
 		sh.served += g.Bytes
 	}
 	sh.emit(trace.Event{Kind: trace.KindServeEnd, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-		Req: sh.sys.curReq, Bytes: g.Bytes, Dur: plan.SeekTotal + plan.XferTotal})
+		Req: sh.sys.curReq, Span: span, Bytes: g.Bytes, Dur: plan.SeekTotal + plan.XferTotal})
 	sh.latch.Done()
 	sh.afterService(d)
 }
@@ -539,6 +556,9 @@ type switchOp struct {
 	switchBegin float64
 	hadTape     bool
 	grant       *sim.Grant
+	// span is the trace span ID of this switch chain (drive.nextSpan),
+	// carried onto every event the op emits.
+	span int64
 	// attempts counts prior fault-interrupted dispatches of the group
 	// (recovery.go); carried through to the serve so a retried group keeps
 	// its retry budget.
@@ -602,7 +622,7 @@ func (op *switchOp) onGrant(grant *sim.Grant) {
 		now := sh.eng.Now()
 		if down, until := s.inj.RobotDown(d.lib, now); down {
 			sh.emit(trace.Event{Kind: trace.KindRobotFailed, Lib: d.lib, Drive: d.idx,
-				Tape: op.g.Tape.Index, Req: s.curReq, Dur: until - now})
+				Tape: op.g.Tape.Index, Req: s.curReq, Span: op.span, Dur: until - now})
 			sh.eng.Schedule(until-now, op.afterRobotFn)
 			return
 		}
@@ -614,7 +634,7 @@ func (op *switchOp) onGrant(grant *sim.Grant) {
 func (op *switchOp) afterRobot() {
 	sh, d := op.sh, op.d
 	sh.emit(trace.Event{Kind: trace.KindRobotRepaired, Lib: d.lib, Drive: d.idx,
-		Tape: op.g.Tape.Index, Req: sh.sys.curReq})
+		Tape: op.g.Tape.Index, Req: sh.sys.curReq, Span: op.span})
 	op.moves()
 }
 
@@ -627,7 +647,7 @@ func (op *switchOp) moves() {
 		move += sh.sys.hw.CellToDrive // first stow the old one
 	}
 	sh.emit(trace.Event{Kind: trace.KindRobot, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
-		Req: sh.sys.curReq, Dur: move})
+		Req: sh.sys.curReq, Span: op.span, Dur: move})
 	sh.eng.Schedule(move, op.afterMoveFn)
 }
 
@@ -640,7 +660,7 @@ func (op *switchOp) afterMove() {
 		return
 	}
 	sh.emit(trace.Event{Kind: trace.KindLoad, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
-		Req: sh.sys.curReq, Dur: sh.sys.hw.LoadThread})
+		Req: sh.sys.curReq, Span: op.span, Dur: sh.sys.hw.LoadThread})
 	sh.eng.Schedule(sh.sys.hw.LoadThread, op.afterLoadFn)
 }
 
@@ -650,7 +670,7 @@ func (op *switchOp) afterLoad() {
 		return
 	}
 	sh, d, l, g := op.sh, op.d, op.l, op.g
-	switchBegin, attempts := op.switchBegin, op.attempts
+	switchBegin, attempts, span := op.switchBegin, op.attempts, op.span
 	sh.putSwitchOp(op)
 	d.mounted = g.Tape.Index
 	d.headPos = 0
@@ -658,7 +678,7 @@ func (op *switchOp) afterLoad() {
 	d.switchSeconds += sh.eng.Now() - switchBegin
 	l.byTape[g.Tape.Index] = d
 	sh.emit(trace.Event{Kind: trace.KindMounted, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-		Req: sh.sys.curReq, Dur: sh.eng.Now() - switchBegin})
+		Req: sh.sys.curReq, Span: span, Dur: sh.eng.Now() - switchBegin})
 	sh.serve(d, g, attempts)
 }
 
@@ -675,6 +695,7 @@ func (sh *shard) serve(d *drive, g catalog.TapeGroup, attempts int) {
 	op.mode = serveOK
 	op.start = sh.eng.Now()
 	op.attempts = attempts
+	op.span = d.nextSpan()
 	d.busy = true
 	span := op.plan.SeekTotal + op.plan.XferTotal
 	if sh.sys.inj != nil {
@@ -682,11 +703,11 @@ func (sh *shard) serve(d *drive, g catalog.TapeGroup, attempts int) {
 	}
 	if sh.rec != nil {
 		sh.emit(trace.Event{Kind: trace.KindServeStart, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-			Req: sh.sys.curReq, Bytes: g.Bytes})
+			Req: sh.sys.curReq, Span: op.span, Bytes: g.Bytes})
 		sh.emit(trace.Event{Kind: trace.KindSeek, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-			Req: sh.sys.curReq, Dur: op.plan.SeekTotal})
+			Req: sh.sys.curReq, Span: op.span, Dur: op.plan.SeekTotal})
 		sh.emit(trace.Event{Kind: trace.KindTransfer, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
-			Req: sh.sys.curReq, Bytes: g.Bytes, Dur: op.plan.XferTotal})
+			Req: sh.sys.curReq, Span: op.span, Bytes: g.Bytes, Dur: op.plan.XferTotal})
 	}
 	sh.eng.Schedule(span, op.fn)
 }
@@ -703,13 +724,17 @@ func (sh *shard) startSwitch(d *drive, g catalog.TapeGroup, attempts int) {
 	op.g = g
 	op.attempts = attempts
 	op.switchBegin = sh.eng.Now()
+	op.span = d.nextSpan()
 	d.busy = true
 	prep := 0.0
 	if d.mounted >= 0 {
 		prep = sh.sys.hw.RewindTime(d.headPos) + sh.sys.hw.Unload
-		sh.emit(trace.Event{Kind: trace.KindRewind, Lib: d.lib, Drive: d.idx, Tape: d.mounted,
-			Req: sh.sys.curReq, Dur: prep})
 	}
+	// Every switch chain opens with a rewind event — Dur 0 and Tape -1 for
+	// an empty drive — so span reconstruction sees the chain's start even
+	// when the chain aborts before any other stage.
+	sh.emit(trace.Event{Kind: trace.KindRewind, Lib: d.lib, Drive: d.idx, Tape: d.mounted,
+		Req: sh.sys.curReq, Span: op.span, Dur: prep})
 	sh.eng.Schedule(prep, op.afterPrepFn)
 }
 
@@ -735,7 +760,7 @@ func (sh *shard) afterService(d *drive) {
 	}
 	if s := sh.sys; s.inj != nil && !d.failed {
 		if down, until := s.inj.DriveDown(d.gidx, sh.eng.Now()); down {
-			sh.observeDriveFailure(d, until, -1, s.curReq)
+			sh.observeDriveFailure(d, until, -1, s.curReq, 0)
 			sh.pump(d.lib)
 			return
 		}

@@ -35,12 +35,18 @@ func TestTraceRecordsLifecycle(t *testing.T) {
 	if kinds[trace.KindSeek] != 2 || kinds[trace.KindTransfer] != 2 {
 		t.Errorf("seek/transfer span counts: %v", kinds)
 	}
-	// One switch (empty drive): robot + load + mounted, no rewind.
+	// One switch (empty drive): rewind (Dur 0 for the empty drive) +
+	// robot + load + mounted — every chain opens with a rewind marker.
 	if kinds[trace.KindRobot] != 1 || kinds[trace.KindLoad] != 1 || kinds[trace.KindMounted] != 1 {
 		t.Errorf("switch pipeline counts: %v", kinds)
 	}
-	if kinds[trace.KindRewind] != 0 {
-		t.Errorf("unexpected rewind events: %v", kinds)
+	if kinds[trace.KindRewind] != 1 {
+		t.Errorf("rewind events: %v", kinds)
+	}
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.KindRewind && (ev.Dur != 0 || ev.Tape != -1) {
+			t.Errorf("empty-drive rewind should carry Dur 0 / Tape -1, got %+v", ev)
+		}
 	}
 	// Sim-level contention events interleave: one robot grant + release,
 	// and the request latch opened once.

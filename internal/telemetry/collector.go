@@ -1,6 +1,9 @@
 package telemetry
 
 import (
+	"fmt"
+	"sync"
+
 	"paralleltape/internal/trace"
 )
 
@@ -86,7 +89,41 @@ type Collector struct {
 	// FailedBytes sums the payload of tape groups lost to media errors
 	// (kind "media-error", Bytes).
 	FailedBytes *Counter
+
+	// QueueDepth is the number of drive operations (serve or switch
+	// spans) currently in flight, sampled at span boundaries: a
+	// span-stamped start event ("serve-start", "rewind") raises it, the
+	// matching end event ("serve-end", "mounted", or a span-stamped
+	// "drive-failed"/"media-error" interruption) lowers it.
+	QueueDepth *Gauge
+
+	// reg is retained for lazy registration of the per-drive
+	// busy-fraction gauges (tapesim_drive_busy_fraction_L<lib>_D<drive>)
+	// as span boundaries reveal drives.
+	reg *Registry
+	// mu guards the span-boundary state below. Every other series is
+	// atomic and lock-free; only span-carrying boundary events (a few
+	// per request) take this lock. When several concurrent systems of a
+	// sweep share one collector their span IDs may collide, so the busy
+	// fractions are approximate in that mode; single-run tapesim values
+	// are exact.
+	mu sync.Mutex
+	// openSpans maps an in-flight span ID to its start state.
+	openSpans map[int64]spanStart
+	// driveBusy accumulates per-drive busy seconds over closed spans.
+	driveBusy map[driveKey]float64
+	// driveGauges holds the lazily registered busy-fraction gauges.
+	driveGauges map[driveKey]*FloatGauge
 }
+
+// spanStart records where and when an operation span opened.
+type spanStart struct {
+	lib, drive int
+	t          float64
+}
+
+// driveKey identifies one drive across libraries.
+type driveKey struct{ lib, drive int }
 
 // NewCollector registers the standard series on reg and returns the
 // collector updating them.
@@ -119,6 +156,12 @@ func NewCollector(reg *Registry) *Collector {
 		OpRetries:       reg.NewCounter("tapesim_op_retries_total", "fault-interrupted operations re-dispatched"),
 		RequestTimeouts: reg.NewCounter("tapesim_request_timeouts_total", "requests that exceeded their deadline"),
 		FailedBytes:     reg.NewCounter("tapesim_failed_bytes_total", "payload bytes lost to media errors"),
+		QueueDepth: reg.NewGauge("tapesim_queue_depth",
+			"drive operations (serve or switch spans) in flight, sampled at span boundaries"),
+		reg:         reg,
+		openSpans:   make(map[int64]spanStart),
+		driveBusy:   make(map[driveKey]float64),
+		driveGauges: make(map[driveKey]*FloatGauge),
 	}
 }
 
@@ -126,6 +169,9 @@ func NewCollector(reg *Registry) *Collector {
 func (c *Collector) Record(ev trace.Event) {
 	c.Events.Inc()
 	c.SimTime.SetMax(ev.T)
+	if ev.Span != 0 {
+		c.spanBoundary(ev)
+	}
 	switch ev.Kind {
 	case trace.KindSubmit:
 		c.Submitted.Inc()
@@ -166,4 +212,38 @@ func (c *Collector) Record(ev trace.Event) {
 	case trace.KindRequestTimedOut:
 		c.RequestTimeouts.Inc()
 	}
+}
+
+// spanBoundary folds one span-stamped event into the span-fed series:
+// the in-flight operation gauge and the per-drive busy fractions. Only
+// boundary kinds change state — interior span events (seek, transfer,
+// robot, load, ...) pass through.
+func (c *Collector) spanBoundary(ev trace.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Kind {
+	case trace.KindServeStart, trace.KindRewind:
+		c.openSpans[ev.Span] = spanStart{lib: ev.Lib, drive: ev.Drive, t: ev.T}
+	case trace.KindServeEnd, trace.KindMounted, trace.KindDriveFailed, trace.KindMediaError:
+		st, ok := c.openSpans[ev.Span]
+		if !ok {
+			return
+		}
+		delete(c.openSpans, ev.Span)
+		k := driveKey{lib: st.lib, drive: st.drive}
+		c.driveBusy[k] += ev.T - st.t
+		g := c.driveGauges[k]
+		if g == nil {
+			g = c.reg.NewFloatGauge(
+				fmt.Sprintf("tapesim_drive_busy_fraction_L%d_D%d", k.lib, k.drive),
+				fmt.Sprintf("fraction of simulated time drive %d of library %d spent serving or switching", k.drive, k.lib))
+			c.driveGauges[k] = g
+		}
+		if ev.T > 0 {
+			g.Set(c.driveBusy[k] / ev.T)
+		}
+	default:
+		return
+	}
+	c.QueueDepth.Set(int64(len(c.openSpans)))
 }

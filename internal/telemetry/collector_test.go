@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bufio"
 	"strings"
 	"testing"
 	"time"
@@ -105,5 +106,60 @@ func TestProgressSweepLine(t *testing.T) {
 	line := p.line(p.lastWall.Add(time.Second))
 	if !strings.Contains(line, "runs 2/6") {
 		t.Errorf("sweep line missing runs: %s", line)
+	}
+}
+
+// TestCollectorSpanSeries exercises the span-boundary series: the
+// in-flight operation gauge and the lazily registered per-drive
+// busy-fraction gauges.
+func TestCollectorSpanSeries(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	span := func(ev trace.Event) int64 {
+		c.Record(ev)
+		return c.QueueDepth.Value()
+	}
+	// Two overlapping operations: a switch on L0.D1 (rewind → mounted)
+	// and a serve on L0.D0 (serve-start → serve-end).
+	if d := span(trace.Event{T: 0, Kind: trace.KindRewind, Lib: 0, Drive: 1, Tape: -1, Req: 3, Span: 201}); d != 1 {
+		t.Errorf("depth after rewind = %d, want 1", d)
+	}
+	if d := span(trace.Event{T: 2, Kind: trace.KindServeStart, Lib: 0, Drive: 0, Tape: 4, Req: 3, Span: 100}); d != 2 {
+		t.Errorf("depth after serve-start = %d, want 2", d)
+	}
+	// Interior span events must not change the depth.
+	if d := span(trace.Event{T: 2, Kind: trace.KindSeek, Lib: 0, Drive: 0, Tape: 4, Req: 3, Span: 100, Dur: 1}); d != 2 {
+		t.Errorf("depth after seek = %d, want 2", d)
+	}
+	if d := span(trace.Event{T: 4, Kind: trace.KindMounted, Lib: 0, Drive: 1, Tape: 7, Req: 3, Span: 201, Dur: 4}); d != 1 {
+		t.Errorf("depth after mounted = %d, want 1", d)
+	}
+	if d := span(trace.Event{T: 10, Kind: trace.KindServeEnd, Lib: 0, Drive: 0, Tape: 4, Req: 3, Span: 100, Bytes: 5}); d != 0 {
+		t.Errorf("depth after serve-end = %d, want 0", d)
+	}
+	// Busy fractions: L0.D1 was busy [0,4] of 4s (1.0); L0.D0 was busy
+	// [2,10] of 10s (0.8).
+	if got := c.driveGauges[driveKey{lib: 0, drive: 1}].Value(); got != 1.0 {
+		t.Errorf("L0.D1 busy fraction = %v, want 1.0", got)
+	}
+	if got := c.driveGauges[driveKey{lib: 0, drive: 0}].Value(); got != 0.8 {
+		t.Errorf("L0.D0 busy fraction = %v, want 0.8", got)
+	}
+	// A close for an unknown span (ring-buffer truncation) is ignored.
+	c.Record(trace.Event{T: 11, Kind: trace.KindServeEnd, Lib: 0, Drive: 0, Tape: 4, Req: 4, Span: 999})
+	if d := c.QueueDepth.Value(); d != 0 {
+		t.Errorf("depth after orphan close = %d, want 0", d)
+	}
+	// The lazily registered gauges are exposed on the registry.
+	var sb strings.Builder
+	bw := bufio.NewWriter(&sb)
+	if err := reg.WritePrometheus(bw); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	for _, frag := range []string{"tapesim_queue_depth 0", "tapesim_drive_busy_fraction_L0_D0 0.8", "tapesim_drive_busy_fraction_L0_D1 1"} {
+		if !strings.Contains(sb.String(), frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, sb.String())
+		}
 	}
 }

@@ -71,6 +71,10 @@ func appendJSON(b []byte, ev Event) []byte {
 		b = append(b, `,"req":`...)
 		b = strconv.AppendInt(b, ev.Req, 10)
 	}
+	if ev.Span != 0 {
+		b = append(b, `,"span":`...)
+		b = strconv.AppendInt(b, ev.Span, 10)
+	}
 	if ev.Bytes != 0 {
 		b = append(b, `,"bytes":`...)
 		b = strconv.AppendInt(b, ev.Bytes, 10)
@@ -99,7 +103,7 @@ func appendFloat(b []byte, v float64) []byte {
 // CSVColumns is the fixed CSV header: every event populates the same
 // column set, with empty cells for not-applicable fields.
 var CSVColumns = []string{
-	"t", "kind", "lib", "drive", "tape", "req", "bytes", "dur", "queue", "name",
+	"t", "kind", "lib", "drive", "tape", "req", "span", "bytes", "dur", "queue", "name",
 }
 
 // CSVWriter is a streaming Recorder writing one CSV row per event under a
@@ -136,6 +140,7 @@ func (c *CSVWriter) Record(ev Event) {
 	b = appendOptInt(b, int64(ev.Drive), ev.Drive >= 0)
 	b = appendOptInt(b, int64(ev.Tape), ev.Tape >= 0)
 	b = appendOptInt(b, ev.Req, ev.Req >= 0)
+	b = appendOptInt(b, ev.Span, ev.Span != 0)
 	b = appendOptInt(b, ev.Bytes, ev.Bytes != 0)
 	b = append(b, ',')
 	if ev.Dur != 0 {

@@ -46,8 +46,10 @@ const (
 	// KindServeEnd marks a drive finishing a tape group; Dur is the whole
 	// service span (seek + transfer).
 	KindServeEnd Kind = "serve-end"
-	// KindRewind marks the start of a switch's rewind+unload phase; Dur
-	// is the planned rewind+unload time.
+	// KindRewind marks the start of a switch chain; Dur is the planned
+	// rewind+unload time of the outgoing cartridge. Emitted for every
+	// switch — an empty drive carries Tape -1 and Dur 0 — so each switch
+	// span has an observable start.
 	KindRewind Kind = "rewind"
 	// KindRobot marks the robot beginning the stow+fetch cartridge moves;
 	// Dur is the planned arm occupancy.
@@ -101,6 +103,20 @@ const (
 	KindLatchOpen Kind = "latch-open"
 )
 
+// Kinds returns every declared event kind, in declaration order. The list
+// is the schema's source of truth for completeness checks: the golden
+// fixtures and docs/OBSERVABILITY.md kind tables are tested against it, so
+// a new kind cannot ship unexercised or undocumented.
+func Kinds() []Kind {
+	return []Kind{
+		KindSubmit, KindServeStart, KindSeek, KindTransfer, KindServeEnd,
+		KindRewind, KindRobot, KindLoad, KindMounted, KindComplete,
+		KindDriveFailed, KindDriveRepaired, KindRobotFailed, KindRobotRepaired,
+		KindMediaError, KindOpRetried, KindRequestTimedOut,
+		KindResourceWait, KindResourceGrant, KindResourceRelease, KindLatchOpen,
+	}
+}
+
 // Event is one recorded simulator event. It is a flat value type: emitting
 // one performs no heap allocation, and the zero value of every field means
 // "not applicable" except where noted. Integer fields use -1 for "not
@@ -118,6 +134,13 @@ type Event struct {
 	Tape int
 	// Req is the request ID being served, -1 when not request-scoped.
 	Req int64
+	// Span identifies the operation (one drive's serve or switch chain)
+	// this event belongs to; 0 when the event is not part of an operation
+	// (request lifecycle markers, resource contention, boundary fault
+	// sweeps). Span values are opaque, unique within a run, and identical
+	// at every shard count, so internal/spans reconstructs operation trees
+	// without heuristics.
+	Span int64
 	// Bytes is the payload size associated with the event, 0 when none.
 	Bytes int64
 	// Dur is the span duration in seconds for span-style events, 0 for

@@ -10,7 +10,7 @@ import (
 func sampleEvents() []Event {
 	return []Event{
 		{T: 0, Kind: KindSubmit, Lib: -1, Drive: -1, Tape: -1, Req: 7, Bytes: 300},
-		{T: 1.5, Kind: KindSeek, Lib: 0, Drive: 1, Tape: 3, Req: 7, Dur: 2.25},
+		{T: 1.5, Kind: KindSeek, Lib: 0, Drive: 1, Tape: 3, Req: 7, Span: 4294967297, Dur: 2.25},
 		{T: 3.75, Kind: KindResourceWait, Lib: -1, Drive: -1, Tape: -1, Req: -1, Queue: 2, Name: "robot-0"},
 		{T: 9, Kind: KindComplete, Lib: -1, Drive: -1, Tape: -1, Req: 7, Bytes: 300, Dur: 9},
 	}
@@ -78,11 +78,55 @@ func TestCSVShape(t *testing.T) {
 			t.Errorf("line %d has %d commas: %q", i, got, line)
 		}
 	}
-	if lines[1] != "0,submit,,,,7,300,,," {
+	if lines[1] != "0,submit,,,,7,,300,,," {
 		t.Errorf("submit row = %q", lines[1])
 	}
-	if lines[3] != "3.75,resource-wait,,,,,,,2,robot-0" {
+	if lines[2] != "1.5,seek,0,1,3,7,4294967297,,2.25,," {
+		t.Errorf("seek row = %q", lines[2])
+	}
+	if lines[3] != "3.75,resource-wait,,,,,,,,2,robot-0" {
 		t.Errorf("wait row = %q", lines[3])
+	}
+}
+
+func TestParseJSONLRoundTrip(t *testing.T) {
+	want := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: parsed %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseJSONLBadLine(t *testing.T) {
+	_, err := ParseJSONL(strings.NewReader("{\"t\":0,\"kind\":\"submit\"}\nnot-json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse failure", err)
+	}
+}
+
+func TestKindsComplete(t *testing.T) {
+	ks := Kinds()
+	seen := map[Kind]bool{}
+	for _, k := range ks {
+		if seen[k] {
+			t.Errorf("Kinds lists %q twice", k)
+		}
+		seen[k] = true
+	}
+	if len(ks) != 21 {
+		t.Errorf("Kinds lists %d kinds, want 21 (update the list and this pin together)", len(ks))
 	}
 }
 

@@ -267,7 +267,9 @@ func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
 func QuickExperimentConfig() ExperimentConfig { return experiments.Quick() }
 
 // RunExperiment regenerates one paper exhibit by id: "table1", "fig5",
-// "fig6", "fig7", "fig8", "fig9", "tech", "robustness", or "ablation".
+// "fig6", "fig7", "fig8", "fig9", "tech", "robustness", or "ablation" —
+// or an extension exhibit: "striping", "online", "scheduler",
+// "sensitivity", "chaos", or "phases".
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentReport, error) {
 	return experiments.ByID(id, cfg)
 }
