@@ -17,6 +17,11 @@ import (
 	"os"
 	"sync"
 	"testing"
+
+	"paralleltape/internal/cluster"
+	"paralleltape/internal/loadbalance"
+	"paralleltape/internal/organpipe"
+	"paralleltape/internal/units"
 )
 
 // benchCfg selects the experiment scale: Quick by default, the paper's
@@ -132,6 +137,78 @@ func BenchmarkPlacementParallelBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Place(hw, NewParallelBatch(cfg.M), w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacementCluster isolates the §5.1 clustering stage (atoms,
+// similarity edges, agglomeration) of the placement pipeline at the
+// configured scale; the -json document tracks it as placement-cluster.
+func BenchmarkPlacementCluster(b *testing.B) {
+	cfg := benchCfg()
+	w, err := GenerateWorkload(benchParams(cfg), cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(w, cluster.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacementOrganPipe isolates the §5.3 step 6 alignment stage:
+// organ-piping one tape-sized item list; tracked as placement-organpipe.
+func BenchmarkPlacementOrganPipe(b *testing.B) {
+	cfg := benchCfg()
+	w, err := GenerateWorkload(benchParams(cfg), cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := w.ObjectProbs()
+	items := make([]organpipe.Item, 512)
+	for i := range items {
+		items[i] = organpipe.Item{Index: i, Weight: probs[i%len(probs)]}
+	}
+	var arr organpipe.Arranger
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr.Arrange(items)
+	}
+}
+
+// BenchmarkPlacementLoadBalance isolates the §5.4 balancing stage: zigzag
+// of one cluster-sized item list across a tape batch; tracked as
+// placement-loadbalance.
+func BenchmarkPlacementLoadBalance(b *testing.B) {
+	cfg := benchCfg()
+	w, err := GenerateWorkload(benchParams(cfg), cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := w.ObjectProbs()
+	items := make([]loadbalance.Item, 64)
+	for i := range items {
+		size := int64(i%7+1) * units.MB
+		items[i] = loadbalance.Item{Load: probs[i%len(probs)] * float64(size), Size: size}
+	}
+	states := make([]loadbalance.TapeState, 8)
+	ptrs := make([]*loadbalance.TapeState, len(states))
+	for i := range states {
+		ptrs[i] = &states[i]
+	}
+	var p loadbalance.Packer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range states {
+			states[j] = loadbalance.TapeState{Free: 1 << 40}
+		}
+		if _, err := p.Zigzag(items, ptrs, len(states)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,15 +9,21 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"io"
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"testing"
 	"time"
 
 	"paralleltape"
+	"paralleltape/internal/cluster"
+	"paralleltape/internal/loadbalance"
+	"paralleltape/internal/organpipe"
 	"paralleltape/internal/sim"
+	"paralleltape/internal/units"
 )
 
 // benchResultSchema versions the -json document layout.
@@ -118,16 +124,34 @@ func writeBenchResult(w io.Writer, experiment string, cfg paralleltape.Experimen
 	return enc.Encode(&res)
 }
 
+// testingInitOnce guards testing.Init, which registers the test.* flags
+// exactly once so setBenchtime can drive testing.Benchmark's -benchtime.
+var testingInitOnce sync.Once
+
+// setBenchtime points testing.Benchmark at a benchtime value ("1s",
+// "30x", ...). Placement benchmarks run a fixed iteration count instead of
+// the adaptive 1s default: one placement op costs ~100 ms at full scale, so
+// the time-targeted mode stops after very few iterations and the reported
+// ns/op jitters more than the -compare gate tolerates. A fixed count keeps
+// the measurement window identical across runs.
+func setBenchtime(v string) error {
+	testingInitOnce.Do(testing.Init)
+	return flag.Set("test.benchtime", v)
+}
+
 // measureBenchmarks runs the reference micro-benchmarks with
 // testing.Benchmark at the configured scale. The names are part of the
 // schema: simulate-request is the untraced Submit hot path (the
 // allocation-regression guard), simulate-request-traced adds an in-memory
 // trace buffer, simulate-request-shards{2,4} fork each request across
 // engine shards (bounding the fork/join overhead; results stay
-// byte-identical), placement-parallel-batch is raw placement cost, and
-// engine-schedule / engine-schedule-skewed isolate the event-queue kernel
-// (uniform and near/far-mixed deadlines; both mirror the benchmarks in
-// internal/sim and must stay at zero allocs/op).
+// byte-identical), placement-parallel-batch is the end-to-end placement
+// cost, placement-cluster / placement-organpipe / placement-loadbalance
+// isolate the pipeline's three stages (§5.1 clustering, §5.3 step 6
+// alignment, §5.4 balancing), and engine-schedule / engine-schedule-skewed
+// isolate the event-queue kernel (uniform and near/far-mixed deadlines;
+// both mirror the benchmarks in internal/sim and must stay at zero
+// allocs/op).
 func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, error) {
 	w, err := paralleltape.GenerateWorkload(benchParams(cfg), cfg.Seed)
 	if err != nil {
@@ -181,6 +205,55 @@ func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, e
 			}
 		}
 	}
+	clusterStage := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.Run(w, cluster.DefaultConfig()); err != nil {
+				opErr = err
+				b.FailNow()
+			}
+		}
+	}
+	// Alignment stage: organ-pipe one tape-sized item list drawn from the
+	// workload's probability profile.
+	probs := w.ObjectProbs()
+	opItems := make([]organpipe.Item, 512)
+	for i := range opItems {
+		opItems[i] = organpipe.Item{Index: i, Weight: probs[i%len(probs)]}
+	}
+	var arr organpipe.Arranger
+	organStage := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			arr.Arrange(opItems)
+		}
+	}
+	// Balancing stage: zigzag one cluster-sized item list across a batch,
+	// resetting the tape states each op so every iteration does the same
+	// work.
+	lbItems := make([]loadbalance.Item, 64)
+	for i := range lbItems {
+		size := int64(i%7+1) * units.MB
+		lbItems[i] = loadbalance.Item{Load: probs[i%len(probs)] * float64(size), Size: size}
+	}
+	lbStates := make([]loadbalance.TapeState, 8)
+	lbPtrs := make([]*loadbalance.TapeState, len(lbStates))
+	for i := range lbStates {
+		lbPtrs[i] = &lbStates[i]
+	}
+	var packer loadbalance.Packer
+	balanceStage := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range lbStates {
+				lbStates[j] = loadbalance.TapeState{Free: 1 << 40}
+			}
+			if _, err := packer.Zigzag(lbItems, lbPtrs, len(lbStates)); err != nil {
+				opErr = err
+				b.FailNow()
+			}
+		}
+	}
 	engSchedule := func(b *testing.B) {
 		eng := sim.NewEngine()
 		fn := func() {}
@@ -206,17 +279,24 @@ func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, e
 
 	var out []benchMeasurement
 	for _, bench := range []struct {
-		name string
-		fn   func(b *testing.B)
+		name      string
+		benchtime string
+		fn        func(b *testing.B)
 	}{
-		{"simulate-request", submit(plain, nil)},
-		{"simulate-request-traced", submit(traced, tbuf)},
-		{"simulate-request-shards2", submit(sharded2, nil)},
-		{"simulate-request-shards4", submit(sharded4, nil)},
-		{"placement-parallel-batch", place},
-		{"engine-schedule", engSchedule},
-		{"engine-schedule-skewed", engScheduleSkewed},
+		{"simulate-request", "1s", submit(plain, nil)},
+		{"simulate-request-traced", "1s", submit(traced, tbuf)},
+		{"simulate-request-shards2", "1s", submit(sharded2, nil)},
+		{"simulate-request-shards4", "1s", submit(sharded4, nil)},
+		{"placement-parallel-batch", "30x", place},
+		{"placement-cluster", "30x", clusterStage},
+		{"placement-organpipe", "1s", organStage},
+		{"placement-loadbalance", "1s", balanceStage},
+		{"engine-schedule", "1s", engSchedule},
+		{"engine-schedule-skewed", "1s", engScheduleSkewed},
 	} {
+		if err := setBenchtime(bench.benchtime); err != nil {
+			return nil, err
+		}
 		r := testing.Benchmark(bench.fn)
 		if opErr != nil {
 			return nil, opErr

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // allocSlackPct is the allowed allocs/op growth in percent of the baseline,
@@ -46,9 +47,27 @@ func readBenchResult(path string) (*benchResult, error) {
 	return &doc, nil
 }
 
+// tolerances carries the -compare gate's ns/op thresholds. Placement
+// benchmarks get their own: they run a fixed iteration count (see
+// setBenchtime) rather than the adaptive 1s window, so their noise profile
+// differs from the simulation microbenchmarks and the gate can hold them
+// tighter or looser independently.
+type tolerances struct {
+	nsPct          float64 // ns/op growth allowed for most benchmarks
+	placementNsPct float64 // ns/op growth allowed for placement-* benchmarks
+}
+
+// nsFor returns the ns/op tolerance applying to one benchmark name.
+func (t tolerances) nsFor(name string) float64 {
+	if strings.HasPrefix(name, "placement-") {
+		return t.placementNsPct
+	}
+	return t.nsPct
+}
+
 // runCompare diffs baseline oldPath against candidate newPath and returns
 // the process exit code: 0 clean, 1 regression found.
-func runCompare(w io.Writer, oldPath, newPath string, nsTolerancePct float64) (int, error) {
+func runCompare(w io.Writer, oldPath, newPath string, tol tolerances) (int, error) {
 	oldDoc, err := readBenchResult(oldPath)
 	if err != nil {
 		return 0, err
@@ -57,7 +76,7 @@ func runCompare(w io.Writer, oldPath, newPath string, nsTolerancePct float64) (i
 	if err != nil {
 		return 0, err
 	}
-	failures := compareBenchResults(w, oldDoc, newDoc, nsTolerancePct)
+	failures := compareBenchResults(w, oldDoc, newDoc, tol)
 	if len(failures) > 0 {
 		fmt.Fprintf(w, "\nREGRESSIONS (%d):\n", len(failures))
 		for _, f := range failures {
@@ -71,12 +90,12 @@ func runCompare(w io.Writer, oldPath, newPath string, nsTolerancePct float64) (i
 
 // compareBenchResults prints the comparison table and returns the list of
 // regression descriptions (empty = gate passes).
-func compareBenchResults(w io.Writer, oldDoc, newDoc *benchResult, nsTolerancePct float64) []string {
+func compareBenchResults(w io.Writer, oldDoc, newDoc *benchResult, tol tolerances) []string {
 	var failures []string
 	fmt.Fprintf(w, "baseline: commit %s (%s)\n", oldDoc.Commit, oldDoc.GoVersion)
 	fmt.Fprintf(w, "new:      commit %s (%s)\n", newDoc.Commit, newDoc.GoVersion)
-	fmt.Fprintf(w, "tolerance: ns/op ±%.0f%%, allocs/op ±%.1f%% (map hash-seed jitter), bandwidth exact\n\n",
-		nsTolerancePct, allocSlackPct)
+	fmt.Fprintf(w, "tolerance: ns/op ±%.0f%% (placement-* ±%.0f%%), allocs/op ±%.1f%% (map hash-seed jitter), bandwidth exact\n\n",
+		tol.nsPct, tol.placementNsPct, allocSlackPct)
 
 	newByName := make(map[string]benchMeasurement, len(newDoc.Benchmarks))
 	for _, b := range newDoc.Benchmarks {
@@ -102,10 +121,10 @@ func compareBenchResults(w io.Writer, oldDoc, newDoc *benchResult, nsTolerancePc
 		allocDelta := nb.AllocsPerOp - ob.AllocsPerOp
 		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+7.1f%% %10d %10d %+7d\n",
 			ob.Name, ob.NsPerOp, nb.NsPerOp, nsDelta, ob.AllocsPerOp, nb.AllocsPerOp, allocDelta)
-		if nsDelta > nsTolerancePct {
+		if nsTol := tol.nsFor(ob.Name); nsDelta > nsTol {
 			failures = append(failures, fmt.Sprintf(
 				"%s: ns/op %.0f -> %.0f (%+.1f%% > %.0f%% tolerance)",
-				ob.Name, ob.NsPerOp, nb.NsPerOp, nsDelta, nsTolerancePct))
+				ob.Name, ob.NsPerOp, nb.NsPerOp, nsDelta, nsTol))
 		}
 		if slack := int64(float64(ob.AllocsPerOp) * allocSlackPct / 100); allocDelta > slack {
 			failures = append(failures, fmt.Sprintf(

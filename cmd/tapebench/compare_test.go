@@ -8,6 +8,10 @@ import (
 	"testing"
 )
 
+// tol40 is the default-shaped gate used by most tests: 40% general ns
+// tolerance, 30% for placement-* benchmarks.
+var tol40 = tolerances{nsPct: 40, placementNsPct: 30}
+
 func benchDoc() *benchResult {
 	return &benchResult{
 		Schema:    benchResultSchema,
@@ -41,7 +45,7 @@ func writeDoc(t *testing.T, doc *benchResult) string {
 func TestCompareSelfIsClean(t *testing.T) {
 	path := writeDoc(t, benchDoc())
 	var buf bytes.Buffer
-	code, err := runCompare(&buf, path, path, 40)
+	code, err := runCompare(&buf, path, path, tol40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +59,7 @@ func TestCompareNsRegression(t *testing.T) {
 	base := benchDoc()
 	slow := benchDoc()
 	slow.Benchmarks[0].NsPerOp *= 2 // +100% > 40% tolerance
-	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, slow), 40)
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, slow), tol40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,12 +69,37 @@ func TestCompareNsRegression(t *testing.T) {
 
 	okish := benchDoc()
 	okish.Benchmarks[0].NsPerOp *= 1.2 // +20% < 40% tolerance
-	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, okish), 40)
+	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, okish), tol40)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code != 0 {
 		t.Fatal("+20% ns/op failed a 40% gate")
+	}
+}
+
+// placement-* benchmarks are gated by their own ns tolerance, not the
+// general one: +35% passes a 40% general gate but fails the 30% placement
+// gate, and a generous placement gate accepts it even when the general
+// tolerance is tight.
+func TestComparePlacementTolerance(t *testing.T) {
+	base := benchDoc()
+	slower := benchDoc()
+	slower.Benchmarks[1].NsPerOp *= 1.35 // placement-parallel-batch
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, slower), tol40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatal("+35% placement ns/op passed a 30% placement gate")
+	}
+	loosePlacement := tolerances{nsPct: 10, placementNsPct: 50}
+	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, slower), loosePlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatal("+35% placement ns/op failed a 50% placement gate (general tolerance must not apply)")
 	}
 }
 
@@ -80,7 +109,7 @@ func TestCompareAllocRegressionIsExact(t *testing.T) {
 	base := benchDoc()
 	leaky := benchDoc()
 	leaky.Benchmarks[0].AllocsPerOp++ // 0 -> 1; slack is floor(0.1% of 0) = 0
-	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, leaky), 40)
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, leaky), tol40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +119,7 @@ func TestCompareAllocRegressionIsExact(t *testing.T) {
 	// A decrease is an improvement, not a regression.
 	better := benchDoc()
 	better.Benchmarks[1].AllocsPerOp -= 1000
-	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, better), 40)
+	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, better), tol40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +135,7 @@ func TestCompareAllocHashSeedSlack(t *testing.T) {
 	base := benchDoc() // Benchmarks[1] has 51000 allocs -> slack 51
 	jitter := benchDoc()
 	jitter.Benchmarks[1].AllocsPerOp += 2
-	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, jitter), 40)
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, jitter), tol40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +145,7 @@ func TestCompareAllocHashSeedSlack(t *testing.T) {
 
 	leaky := benchDoc()
 	leaky.Benchmarks[1].AllocsPerOp += 100
-	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, leaky), 40)
+	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, leaky), tol40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +159,7 @@ func TestCompareBandwidthMustBeIdentical(t *testing.T) {
 	base := benchDoc()
 	drifted := benchDoc()
 	drifted.BandwidthMBpsByScheme["parallel-batch"] += 1e-9
-	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, drifted), 40)
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, drifted), tol40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +174,7 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 	base := benchDoc()
 	shrunk := benchDoc()
 	shrunk.Benchmarks = shrunk.Benchmarks[:1]
-	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, shrunk), 40)
+	code, err := runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, shrunk), tol40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +185,7 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 	grown := benchDoc()
 	grown.Benchmarks = append(grown.Benchmarks,
 		benchMeasurement{Name: "engine-schedule", NsPerOp: 12, AllocsPerOp: 0})
-	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, grown), 40)
+	code, err = runCompare(&bytes.Buffer{}, writeDoc(t, base), writeDoc(t, grown), tol40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +198,7 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 func TestCompareRejectsWrongSchema(t *testing.T) {
 	bad := benchDoc()
 	bad.Schema = "tapebench/bench-result/v0"
-	if _, err := runCompare(&bytes.Buffer{}, writeDoc(t, bad), writeDoc(t, benchDoc()), 40); err == nil {
+	if _, err := runCompare(&bytes.Buffer{}, writeDoc(t, bad), writeDoc(t, benchDoc()), tol40); err == nil {
 		t.Fatal("wrong schema accepted")
 	}
 }

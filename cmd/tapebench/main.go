@@ -56,6 +56,8 @@ func main() {
 			"regression-gate mode: compare this baseline bench-result document against the one given as a positional argument (tapebench -compare old.json new.json), exit non-zero on regression")
 		compareNsTol = flag.Float64("compare-ns-tolerance", 40,
 			"-compare: allowed ns/op growth in percent (allocs/op gets a fixed 0.1% slack, bandwidth is always exact)")
+		comparePlacementNsTol = flag.Float64("compare-placement-ns-tolerance", 30,
+			"-compare: allowed ns/op growth in percent for the placement-* benchmarks, which run a fixed iteration count (see docs/PERFORMANCE.md)")
 		faultsOn = flag.Bool("faults", false,
 			"inject stochastic faults into every run of the selected exhibit (-mtbf, -timeout; docs/RESILIENCE.md); the chaos exhibit keeps its own per-point profiles")
 		mtbf = flag.Float64("mtbf", 40000,
@@ -74,7 +76,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tapebench: -compare needs exactly one positional argument: the new bench-result document")
 			os.Exit(2)
 		}
-		code, err := runCompare(os.Stdout, *compare, flag.Arg(0), *compareNsTol)
+		code, err := runCompare(os.Stdout, *compare, flag.Arg(0),
+			tolerances{nsPct: *compareNsTol, placementNsPct: *comparePlacementNsTol})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tapebench:", err)
 			os.Exit(2)

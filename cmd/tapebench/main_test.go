@@ -58,7 +58,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 // TestBenchResultJSON regenerates one exhibit and checks the -json
 // benchmark-result document: schema identity, environment fields, the
-// five micro-benchmark measurements, and the per-scheme bandwidth map.
+// micro-benchmark measurements, and the per-scheme bandwidth map.
 func TestBenchResultJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs testing.Benchmark (seconds)")
@@ -93,7 +93,9 @@ func TestBenchResultJSON(t *testing.T) {
 	}
 	wantNames := []string{"simulate-request", "simulate-request-traced",
 		"simulate-request-shards2", "simulate-request-shards4",
-		"placement-parallel-batch", "engine-schedule", "engine-schedule-skewed"}
+		"placement-parallel-batch", "placement-cluster",
+		"placement-organpipe", "placement-loadbalance",
+		"engine-schedule", "engine-schedule-skewed"}
 	if len(res.Benchmarks) != len(wantNames) {
 		t.Fatalf("benchmarks = %d, want %d", len(res.Benchmarks), len(wantNames))
 	}

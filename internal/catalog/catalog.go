@@ -7,11 +7,11 @@
 package catalog
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"io"
 	"slices"
-	"sort"
 
 	"paralleltape/internal/model"
 	"paralleltape/internal/tape"
@@ -83,11 +83,13 @@ func (c *Catalog) Tapes() []tape.Key {
 	for k := range c.layouts {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Library != keys[j].Library {
-			return keys[i].Library < keys[j].Library
+	// Keys are unique, so (Library, Index) is a total order and the
+	// unstable slices.SortFunc is deterministic.
+	slices.SortFunc(keys, func(a, b tape.Key) int {
+		if a.Library != b.Library {
+			return a.Library - b.Library
 		}
-		return keys[i].Index < keys[j].Index
+		return a.Index - b.Index
 	})
 	return keys
 }
@@ -130,15 +132,17 @@ func (c *Catalog) GroupRequest(r *model.Request) ([]TapeGroup, error) {
 	}
 	groups := make([]TapeGroup, 0, len(byTape))
 	for _, g := range byTape {
-		sort.Slice(g.Extents, func(i, j int) bool { return g.Extents[i].Start < g.Extents[j].Start })
+		// Starts are unique per cartridge: total order, unstable sort OK.
+		slices.SortFunc(g.Extents, func(a, b tape.Extent) int {
+			return cmp.Compare(a.Start, b.Start)
+		})
 		groups = append(groups, *g)
 	}
-	sort.Slice(groups, func(i, j int) bool {
-		a, b := groups[i].Tape, groups[j].Tape
-		if a.Library != b.Library {
-			return a.Library < b.Library
+	slices.SortFunc(groups, func(a, b TapeGroup) int {
+		if a.Tape.Library != b.Tape.Library {
+			return a.Tape.Library - b.Tape.Library
 		}
-		return a.Index < b.Index
+		return a.Tape.Index - b.Tape.Index
 	})
 	return groups, nil
 }

@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"testing"
+
+	"paralleltape/internal/rng"
+	"paralleltape/internal/workload"
+)
+
+// TestRunAllocBudget pins the steady-state allocation count of Run: with
+// the scratch pool warm, a run allocates only its result (the Result
+// struct, the cluster slice, one object arena, and the unreferenced list)
+// — a constant handful, independent of workload size. The pre-rework
+// implementation allocated per atom, per edge, and per merge (tens of
+// thousands at paper scale).
+func TestRunAllocBudget(t *testing.T) {
+	p := workload.Defaults()
+	p.NumObjects = 600
+	p.NumRequests = 40
+	p.MinReqLen = 5
+	p.MaxReqLen = 15
+	w, err := workload.Generate(p, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	if _, err := Run(w, cfg); err != nil { // warm the scratch pool
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(20, func() {
+		if _, err := Run(w, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 16 // measured ~5; slack for runtime noise
+	if n > budget {
+		t.Fatalf("Run allocates %.0f/run after warm-up, budget %d", n, budget)
+	}
+}

@@ -16,12 +16,28 @@
 // thousand atoms and the pairwise similarity graph shrinks from millions of
 // object pairs to a few hundred thousand atom pairs — with bit-identical
 // results to object-level clustering.
+//
+// # Data layout
+//
+// The whole pipeline runs on flat, index-addressed storage recycled across
+// calls through a scratch free list: object→request and request→atom
+// incidence as CSR index pairs, pairwise similarities as a sorted flat
+// entry slice aggregated by a single scan, and live-cluster adjacency as
+// spans into one arena that is compacted when merges strand too many dead
+// entries. docs/PERFORMANCE.md ("Placement pipeline") sketches the layout
+// and the argument for why every transformation — including the optional
+// parallel edge aggregation behind Config.Parallel — reproduces the
+// original map-based results bit for bit.
 package cluster
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
+	"runtime"
+	"slices"
+	"sync"
 
 	"paralleltape/internal/model"
 )
@@ -72,6 +88,13 @@ type Config struct {
 	// MaxBytes, if positive, refuses merges that would exceed this total
 	// size (a cluster must fit its tape batch).
 	MaxBytes int64
+	// Parallel fans the similarity-edge aggregation across
+	// runtime.GOMAXPROCS workers. The result is bit-identical to the
+	// sequential path at any worker count: workers only generate and sort
+	// their chunk's pair contributions; every floating-point sum happens in
+	// one sequential scan over the chunk-merged stream, which visits
+	// contributions in global request order.
+	Parallel bool
 }
 
 // DefaultConfig returns the configuration used by the paper reproduction:
@@ -111,6 +134,18 @@ type atom struct {
 
 // Run clusters the workload's objects under cfg.
 func Run(w *model.Workload, cfg Config) (*Result, error) {
+	workers := 1
+	if cfg.Parallel {
+		if n := runtime.GOMAXPROCS(0); n > workers {
+			workers = n
+		}
+	}
+	return runWorkers(w, cfg, workers)
+}
+
+// runWorkers is Run with an explicit edge-aggregation worker count; tests
+// use it to exercise the parallel path regardless of GOMAXPROCS.
+func runWorkers(w *model.Workload, cfg Config, workers int) (*Result, error) {
 	if cfg.Threshold < 0 || math.IsNaN(cfg.Threshold) {
 		return nil, fmt.Errorf("cluster: threshold must be non-negative, got %v", cfg.Threshold)
 	}
@@ -129,87 +164,160 @@ func Run(w *model.Workload, cfg Config) (*Result, error) {
 	if cfg.Linkage != Average && cfg.Linkage != Single && cfg.Linkage != Complete {
 		return nil, fmt.Errorf("cluster: unknown linkage %d", int(cfg.Linkage))
 	}
-	atoms, unreferenced := buildAtoms(w)
-	atoms = splitAtoms(w, atoms, cfg)
-	merged := agglomerate(w, atoms, cfg)
+	s := getScratch()
+	defer putScratch(s)
+	atoms, unreferenced := buildAtomsInto(w, s)
+	atoms = splitAtomsInto(w, atoms, cfg, s)
+	merged := agglomerateInto(w, atoms, cfg, s, workers)
 	res := &Result{Clusters: merged, Unreferenced: unreferenced}
-	sort.Slice(res.Clusters, func(i, j int) bool {
-		a, b := &res.Clusters[i], &res.Clusters[j]
+	// Objects[0] is unique per cluster (the clusters partition the
+	// referenced objects), so this comparison is a total order and the
+	// unstable sort cannot reorder equals.
+	slices.SortFunc(res.Clusters, func(a, b Cluster) int {
 		if a.Prob != b.Prob {
-			return a.Prob > b.Prob
+			return cmp.Compare(b.Prob, a.Prob)
 		}
-		return a.Objects[0] < b.Objects[0]
+		return cmp.Compare(a.Objects[0], b.Objects[0])
 	})
 	return res, nil
 }
 
-// buildAtoms groups objects by request signature.
+// buildAtoms groups objects by request signature. Test-only compatibility
+// shim over buildAtomsInto; the returned atoms reference the scratch, which
+// is deliberately not recycled.
 func buildAtoms(w *model.Workload) ([]atom, []model.ObjectID) {
-	byObject := w.RequestsByObject()
-	sigKey := func(reqs []model.RequestID) string {
-		// Request IDs fit in 32 bits; pack the sorted list into a string key.
-		b := make([]byte, 0, len(reqs)*4)
-		for _, r := range reqs {
-			b = append(b, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+	return buildAtomsInto(w, &scratch{})
+}
+
+// buildAtomsInto groups objects by request signature using s for every
+// intermediate. The returned atoms alias s (objects and reqs point into
+// scratch arenas) and are valid until the next use of s; unreferenced is
+// freshly allocated.
+//
+// Atoms come out ordered by their smallest member object ID, which is
+// exactly the first-seen order of the old map-based grouping (objects are
+// scanned in ascending ID order, so a group is first seen at its minimum
+// member).
+func buildAtomsInto(w *model.Workload, s *scratch) ([]atom, []model.ObjectID) {
+	nObj := len(w.Objects)
+	// Object → request CSR index (replaces model.RequestsByObject, which
+	// allocates one slice per object).
+	off := growI32(s.objReqOff, nObj+1)
+	for i := range w.Requests {
+		for _, id := range w.Requests[i].Objects {
+			off[id+1]++
 		}
-		return string(b)
 	}
-	var unreferenced []model.ObjectID
-	groups := make(map[string]*atom)
-	var order []string // first-seen order for determinism
-	for i := range w.Objects {
-		id := model.ObjectID(i)
-		reqs := byObject[i]
-		if len(reqs) == 0 {
-			unreferenced = append(unreferenced, id)
+	for i := 0; i < nObj; i++ {
+		off[i+1] += off[i]
+	}
+	reqs := growSlice(s.objReqs, int(off[nObj]))
+	cur := growSlice(s.cursor, nObj)
+	copy(cur, off[:nObj])
+	for i := range w.Requests {
+		rid := w.Requests[i].ID
+		for _, id := range w.Requests[i].Objects {
+			reqs[cur[id]] = rid
+			cur[id]++
+		}
+	}
+	nRef, nUnref := 0, 0
+	for i := 0; i < nObj; i++ {
+		span := reqs[off[i]:off[i+1]]
+		if len(span) == 0 {
+			nUnref++
 			continue
 		}
-		k := sigKey(reqs)
-		a := groups[k]
-		if a == nil {
-			a = &atom{reqs: reqs}
-			groups[k] = a
-			order = append(order, k)
+		nRef++
+		if len(span) > 1 {
+			slices.Sort(span)
 		}
-		a.objects = append(a.objects, id)
-		a.bytes += w.Objects[i].Size
 	}
-	atoms := make([]atom, 0, len(order))
-	for _, k := range order {
-		atoms = append(atoms, *groups[k])
+	var unreferenced []model.ObjectID
+	if nUnref > 0 {
+		unreferenced = make([]model.ObjectID, 0, nUnref)
+		for i := 0; i < nObj; i++ {
+			if off[i] == off[i+1] {
+				unreferenced = append(unreferenced, model.ObjectID(i))
+			}
+		}
 	}
+	// Sort the referenced IDs by (signature, ID): equal signatures become
+	// contiguous runs — the atoms — and the ID tiebreak keeps each atom's
+	// member list ascending.
+	ids := growSlice(s.ids, nRef)
+	ids = ids[:0]
+	for i := 0; i < nObj; i++ {
+		if off[i] != off[i+1] {
+			ids = append(ids, int32(i))
+		}
+	}
+	slices.SortFunc(ids, func(x, y int32) int {
+		if c := slices.Compare(reqs[off[x]:off[x+1]], reqs[off[y]:off[y+1]]); c != 0 {
+			return c
+		}
+		return cmp.Compare(x, y)
+	})
+	objArena := growSlice(s.atomObjs, nRef)
+	for i, id := range ids {
+		objArena[i] = model.ObjectID(id)
+	}
+	atoms := s.atoms[:0]
+	for lo := 0; lo < len(ids); {
+		x := ids[lo]
+		sig := reqs[off[x]:off[x+1]]
+		hi := lo + 1
+		for hi < len(ids) {
+			y := ids[hi]
+			if !slices.Equal(sig, reqs[off[y]:off[y+1]]) {
+				break
+			}
+			hi++
+		}
+		a := atom{objects: objArena[lo:hi:hi], reqs: sig}
+		for _, id := range a.objects {
+			a.bytes += w.Objects[id].Size
+		}
+		atoms = append(atoms, a)
+		lo = hi
+	}
+	slices.SortFunc(atoms, func(a, b atom) int {
+		return cmp.Compare(a.objects[0], b.objects[0])
+	})
+	s.objReqOff, s.objReqs, s.cursor = off, reqs, cur
+	s.ids, s.atomObjs, s.atoms = ids, objArena, atoms
 	return atoms, unreferenced
 }
 
-// splitAtoms breaks atoms that already violate the configured caps into
+// splitAtomsInto breaks atoms that already violate the configured caps into
 // compliant chunks. Objects within an atom are interchangeable, so any
 // split preserves clustering semantics; merges between the chunks are then
-// refused by the same caps during agglomeration.
-func splitAtoms(w *model.Workload, atoms []atom, cfg Config) []atom {
+// refused by the same caps during agglomeration. Chunks are contiguous
+// subslices of the parent atom's member list, so no object storage moves.
+func splitAtomsInto(w *model.Workload, atoms []atom, cfg Config, s *scratch) []atom {
 	if cfg.MaxObjects <= 0 && cfg.MaxBytes <= 0 {
 		return atoms
 	}
-	var out []atom
+	out := s.split[:0]
 	for _, a := range atoms {
-		cur := atom{reqs: a.reqs}
-		flush := func() {
-			if len(cur.objects) > 0 {
-				out = append(out, cur)
-				cur = atom{reqs: a.reqs}
-			}
-		}
-		for _, id := range a.objects {
+		lo := 0
+		var bytes int64
+		for i, id := range a.objects {
 			size := w.Objects[id].Size
-			overObjects := cfg.MaxObjects > 0 && len(cur.objects)+1 > cfg.MaxObjects
-			overBytes := cfg.MaxBytes > 0 && len(cur.objects) > 0 && cur.bytes+size > cfg.MaxBytes
+			overObjects := cfg.MaxObjects > 0 && i-lo+1 > cfg.MaxObjects
+			overBytes := cfg.MaxBytes > 0 && i > lo && bytes+size > cfg.MaxBytes
 			if overObjects || overBytes {
-				flush()
+				out = append(out, atom{objects: a.objects[lo:i:i], bytes: bytes, reqs: a.reqs})
+				lo, bytes = i, 0
 			}
-			cur.objects = append(cur.objects, id)
-			cur.bytes += size
+			bytes += size
 		}
-		flush()
+		if lo < len(a.objects) {
+			n := len(a.objects)
+			out = append(out, atom{objects: a.objects[lo:n:n], bytes: bytes, reqs: a.reqs})
+		}
 	}
+	s.split = out
 	return out
 }
 
@@ -221,39 +329,218 @@ type pairEdge struct {
 	sim  float64
 }
 
-// buildEdges computes s(a,b) for all co-occurring atom pairs.
+// edgeEntry is one request's probability contribution to one atom pair,
+// keyed by the packed pair (a<<32 | b). The flat entry stream replaces the
+// old map[int64]float64 accumulator: a stable sort by key groups each
+// pair's contributions while preserving their request order, so the scan
+// in scanEntries performs the identical floating-point additions in the
+// identical order.
+type edgeEntry struct {
+	key int64
+	p   float64
+}
+
+// buildEdges computes s(a,b) for all co-occurring atom pairs. Test-only
+// compatibility shim over buildEdgesInto.
 func buildEdges(w *model.Workload, atoms []atom) []pairEdge {
-	// Invert: request -> atoms containing it.
-	atomsByReq := make([][]int32, len(w.Requests))
+	s := &scratch{}
+	return slices.Clone(buildEdgesInto(w, atoms, s, 1))
+}
+
+// buildEdgesInto computes s(a,b) for all co-occurring atom pairs into
+// s.edges, fanning pair generation across workers chunks when workers > 1.
+// Output is sorted by (a, b) and bit-identical at any worker count.
+func buildEdgesInto(w *model.Workload, atoms []atom, s *scratch, workers int) []pairEdge {
+	nReq := len(w.Requests)
+	// Request → atom CSR index. Atoms are scanned in index order, so each
+	// request's member span comes out ascending; pair keys within one
+	// request are then generated in ascending order too.
+	rOff := growI32(s.reqOff, nReq+1)
 	for ai := range atoms {
 		for _, r := range atoms[ai].reqs {
-			atomsByReq[r] = append(atomsByReq[r], int32(ai))
+			rOff[r+1]++
 		}
 	}
-	acc := make(map[int64]float64)
-	for ri := range w.Requests {
-		p := w.Requests[ri].Prob
-		members := atomsByReq[ri]
-		for i := 0; i < len(members); i++ {
-			for j := i + 1; j < len(members); j++ {
-				a, b := members[i], members[j]
-				if a > b {
-					a, b = b, a
+	for i := 0; i < nReq; i++ {
+		rOff[i+1] += rOff[i]
+	}
+	rAtoms := growSlice(s.reqAtoms, int(rOff[nReq]))
+	cur := growSlice(s.cursor, nReq)
+	copy(cur, rOff[:nReq])
+	for ai := range atoms {
+		for _, r := range atoms[ai].reqs {
+			rAtoms[cur[r]] = int32(ai)
+			cur[r]++
+		}
+	}
+	pairs := 0
+	for ri := 0; ri < nReq; ri++ {
+		m := int(rOff[ri+1] - rOff[ri])
+		pairs += m * (m - 1) / 2
+	}
+	s.reqOff, s.reqAtoms, s.cursor = rOff, rAtoms, cur
+
+	// genEntries emits every pair contribution for requests [lo, hi) into
+	// dst (sized exactly) and stable-sorts them by key, so equal keys stay
+	// in request order. tmp and count are scratch for the radix sort; count
+	// must hold len(atoms) slots.
+	genEntries := func(dst, tmp []edgeEntry, count []int32, lo, hi int) {
+		pos := 0
+		for ri := lo; ri < hi; ri++ {
+			members := rAtoms[rOff[ri]:rOff[ri+1]]
+			p := w.Requests[ri].Prob
+			for i := 0; i < len(members); i++ {
+				a := int64(members[i]) << 32
+				for j := i + 1; j < len(members); j++ {
+					dst[pos] = edgeEntry{key: a | int64(members[j]), p: p}
+					pos++
 				}
-				acc[int64(a)<<32|int64(b)] += p
 			}
 		}
+		radixSortEntries(dst, tmp, count)
 	}
-	edges := make([]pairEdge, 0, len(acc))
-	for k, s := range acc {
-		edges = append(edges, pairEdge{a: int(k >> 32), b: int(k & 0xFFFFFFFF), sim: s})
+
+	if workers <= 1 || pairs == 0 {
+		entries := growSlice(s.entries, pairs)
+		tmp := growSlice(s.entriesTmp, pairs)
+		count := growSlice(s.counts, len(atoms))
+		genEntries(entries, tmp, count, 0, nReq)
+		s.entries, s.entriesTmp, s.counts = entries, tmp, count
+		s.edges = scanEntries(s.edges[:0], entries)
+		return s.edges
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].a != edges[j].a {
-			return edges[i].a < edges[j].a
+
+	// Cut the request range into ≤ workers contiguous chunks of roughly
+	// equal pair weight. Chunking only affects scheduling: the merge below
+	// replays contributions in global request order regardless of where
+	// the cuts land.
+	type chunk struct{ lo, hi, pairs int }
+	chunks := make([]chunk, 0, workers)
+	target := (pairs + workers - 1) / workers
+	c := chunk{lo: 0}
+	for ri := 0; ri < nReq; ri++ {
+		m := int(rOff[ri+1] - rOff[ri])
+		c.pairs += m * (m - 1) / 2
+		if c.pairs >= target && len(chunks) < workers-1 {
+			c.hi = ri + 1
+			chunks = append(chunks, c)
+			c = chunk{lo: ri + 1}
 		}
-		return edges[i].b < edges[j].b
-	})
+	}
+	c.hi = nReq
+	chunks = append(chunks, c)
+
+	for len(s.chunkBufs) < len(chunks) {
+		s.chunkBufs = append(s.chunkBufs, nil)
+		s.chunkTmps = append(s.chunkTmps, nil)
+		s.chunkCounts = append(s.chunkCounts, nil)
+	}
+	var wg sync.WaitGroup
+	for ci := 1; ci < len(chunks); ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			s.chunkBufs[ci] = growSlice(s.chunkBufs[ci], chunks[ci].pairs)
+			s.chunkTmps[ci] = growSlice(s.chunkTmps[ci], chunks[ci].pairs)
+			s.chunkCounts[ci] = growSlice(s.chunkCounts[ci], len(atoms))
+			genEntries(s.chunkBufs[ci], s.chunkTmps[ci], s.chunkCounts[ci], chunks[ci].lo, chunks[ci].hi)
+		}(ci)
+	}
+	s.chunkBufs[0] = growSlice(s.chunkBufs[0], chunks[0].pairs)
+	s.chunkTmps[0] = growSlice(s.chunkTmps[0], chunks[0].pairs)
+	s.chunkCounts[0] = growSlice(s.chunkCounts[0], len(atoms))
+	genEntries(s.chunkBufs[0], s.chunkTmps[0], s.chunkCounts[0], chunks[0].lo, chunks[0].hi)
+	wg.Wait()
+
+	// Sequential merge-aggregate: for each key (ascending), sum its
+	// contributions chunk by chunk in chunk-index order. Chunks cover
+	// contiguous ascending request ranges and each chunk's equal-key run
+	// is in request order (stable sort), so the summation order is the
+	// global request order — the same order the sequential scan (and the
+	// old map accumulator) used.
+	cursors := make([]int, len(chunks))
+	edges := s.edges[:0]
+	for {
+		bestKey := int64(0)
+		found := false
+		for ci := range chunks {
+			buf := s.chunkBufs[ci]
+			if cursors[ci] < len(buf) {
+				if k := buf[cursors[ci]].key; !found || k < bestKey {
+					bestKey, found = k, true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		sum, first := 0.0, true
+		for ci := range chunks {
+			buf := s.chunkBufs[ci]
+			for cursors[ci] < len(buf) && buf[cursors[ci]].key == bestKey {
+				if first {
+					sum, first = buf[cursors[ci]].p, false
+				} else {
+					sum += buf[cursors[ci]].p
+				}
+				cursors[ci]++
+			}
+		}
+		edges = append(edges, pairEdge{
+			a: int(bestKey >> 32), b: int(bestKey & 0xFFFFFFFF), sim: sum,
+		})
+	}
+	s.edges = edges
+	return edges
+}
+
+// radixSortEntries stable-sorts entries by key with two counting passes —
+// low half (b), then high half (a) of the packed pair key. Both halves are
+// atom indices, so one count array of len(atoms) slots serves both passes
+// and stays cache-resident; being a stable sort, equal keys keep their
+// request order exactly as the comparison sort it replaced did. tmp must
+// be at least len(entries) long.
+func radixSortEntries(entries, tmp []edgeEntry, count []int32) {
+	tmp = tmp[:len(entries)]
+	for pass := 0; pass < 2; pass++ {
+		shift := uint(32 * pass)
+		for i := range count {
+			count[i] = 0
+		}
+		for i := range entries {
+			count[int32(entries[i].key>>shift)]++
+		}
+		sum := int32(0)
+		for d := range count {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for i := range entries {
+			d := int32(entries[i].key >> shift)
+			tmp[count[d]] = entries[i]
+			count[d]++
+		}
+		entries, tmp = tmp, entries
+	}
+	// Two swaps: the sorted data ended up back in the caller's slice.
+}
+
+// scanEntries aggregates a key-sorted entry stream into edges. Entries with
+// equal keys are summed left to right, which by the stable sort is their
+// request order — matching the old map accumulator addition for addition.
+func scanEntries(edges []pairEdge, entries []edgeEntry) []pairEdge {
+	for i := 0; i < len(entries); {
+		k := entries[i].key
+		sum := entries[i].p
+		j := i + 1
+		for j < len(entries) && entries[j].key == k {
+			sum += entries[j].p
+			j++
+		}
+		edges = append(edges, pairEdge{a: int(k >> 32), b: int(k & 0xFFFFFFFF), sim: sum})
+		i = j
+	}
 	return edges
 }
 
@@ -304,243 +591,537 @@ func mergeLink(x, y linkInfo) linkInfo {
 // or not (and a 40% cut in its backing-array bytes).
 type candidate struct {
 	sim        float64
-	a, b       int32
-	verA, verB int32 // cluster versions at proposal time (lazy invalidation)
+	ab         uint64 // packed pair a<<32 | b; one compare breaks (a, b) ties
+	verA, verB int32  // cluster versions at proposal time (lazy invalidation)
 }
 
-// candHeap is a hand-rolled max-heap on (sim, a, b); avoiding
-// container/heap's interface boxing matters at ~10^6 candidates.
+func (c candidate) pair() (int32, int32) {
+	return int32(c.ab >> 32), int32(uint32(c.ab))
+}
+
+// candHeap is a hand-rolled 4-ary max-heap on (sim, a, b); avoiding
+// container/heap's interface boxing matters at ~10^6 candidates, and the
+// wider nodes halve the tree depth (fewer dependent sift steps, and the
+// four children of a node sit in at most two cache lines).
+//
+// Heap shape does not affect the merge sequence: candLess is strict on
+// (sim, a, b), so pop order is fully determined up to entries for the same
+// pair at the same similarity, which differ only in their version stamps.
+// Of those, at most one matches the clusters' current versions, and the
+// stale ones either skip (roots already joined) or re-propose a candidate
+// identical to the surviving one — the same merges fire in the same order
+// whichever of the equal entries surfaces first (TestRunMatchesReference
+// pins this against the reference implementation's binary heap).
 type candHeap []candidate
 
+// candLess orders by descending sim, then ascending packed pair — the
+// cluster indices are non-negative, so the uint64 comparison is exactly
+// the (a, b) lexicographic order.
 func candLess(x, y candidate) bool {
 	if x.sim != y.sim {
 		return x.sim > y.sim
 	}
-	if x.a != y.a {
-		return x.a < y.a
-	}
-	return x.b < y.b
+	return x.ab < y.ab
 }
 
+// push and pop sift a hole rather than swapping: the displaced element is
+// written once at its final slot, halving the stores per sift step.
 func (h *candHeap) push(c candidate) {
-	*h = append(*h, c)
-	s := *h
+	s := append(*h, c)
 	i := len(s) - 1
 	for i > 0 {
-		p := (i - 1) / 2
-		if !candLess(s[i], s[p]) {
+		p := (i - 1) / 4
+		if !candLess(c, s[p]) {
 			break
 		}
-		s[i], s[p] = s[p], s[i]
+		s[i] = s[p]
 		i = p
 	}
+	s[i] = c
+	*h = s
 }
 
 func (h *candHeap) pop() candidate {
 	s := *h
 	top := s[0]
 	n := len(s) - 1
-	s[0] = s[n]
+	last := s[n]
 	s = s[:n]
 	*h = s
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		best := i
-		if l < n && candLess(s[l], s[best]) {
-			best = l
-		}
-		if r < n && candLess(s[r], s[best]) {
-			best = r
-		}
-		if best == i {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		s[i], s[best] = s[best], s[i]
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		best := first
+		for j := first + 1; j < end; j++ {
+			if candLess(s[j], s[best]) {
+				best = j
+			}
+		}
+		if !candLess(s[best], last) {
+			break
+		}
+		s[i] = s[best]
 		i = best
+	}
+	if n > 0 {
+		s[i] = last
 	}
 	return top
 }
 
-// liveCluster is one active cluster during agglomeration.
+// The adjacency arena stores neighbor records as two parallel arrays: the
+// neighbor cluster indices (nbrs, the search keys) and the pair-similarity
+// aggregates (links, the payloads). A live cluster's neighbors occupy one
+// nbr-sorted span [adjOff, adjOff+adjLen) of both arrays, so lookups are
+// binary searches and the deterministic "fold b's neighbors in ascending
+// key order" of the old map implementation becomes a linear merge walk.
+// Splitting keys from the 40-byte payloads keeps the searched data dense —
+// sixteen int32 keys per cache line instead of one or two full records —
+// which is most of the lookup cost at ~10^5 searches per run.
+
+// liveCluster is one active cluster during agglomeration. Member atoms are
+// kept as an intrusive linked list through agg.atomNext (head/tail splice
+// on merge, no copying); neighbors are the arena span [adjOff, adjOff+adjLen).
 type liveCluster struct {
-	alive     bool
-	version   int32
-	atoms     []int // member atom indices
-	objects   int64 // object count
-	bytes     int64
-	reqBits   []uint64 // bitset over request IDs touched by any member
-	cohesion  float64  // linkage value of the last merge
-	neighbors map[int]linkInfo
+	objects  int64 // object count
+	bytes    int64
+	cohesion float64 // linkage value of the last merge
+	adjOff   int32
+	adjLen   int32
+	atomHead int32
+	atomTail int32
+	version  int32
+	alive    bool
 }
 
-func agglomerate(w *model.Workload, atoms []atom, cfg Config) []Cluster {
+// agg bundles the agglomeration state so merge steps can be methods.
+type agg struct {
+	cfg      Config
+	words    int // request-bitset words per cluster
+	clusters []liveCluster
+	parent   []int32 // union-find with path halving
+	atomNext []int32
+	bits     []uint64
+	nbrs     []int32    // adjacency keys (parallel to links)
+	links    []linkInfo // adjacency payloads
+	spareN   []int32    // compaction targets, swapped with nbrs/links
+	spareL   []linkInfo
+	live     int // live entries in the arena (for the compaction trigger)
+	heap     *candHeap
+}
+
+func (g *agg) find(x int32) int32 {
+	for g.parent[x] != x {
+		g.parent[x] = g.parent[g.parent[x]]
+		x = g.parent[x]
+	}
+	return x
+}
+
+// lowerBound returns the first index in the sorted keys not less than nbr.
+func lowerBound(keys []int32, nbr int32) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < nbr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findKey returns the index of nbr within the sorted keys, or -1.
+func findKey(keys []int32, nbr int32) int {
+	if lo := lowerBound(keys, nbr); lo < len(keys) && keys[lo] == nbr {
+		return lo
+	}
+	return -1
+}
+
+// propose pushes a merge candidate for live clusters a and b (any order)
+// whose current link aggregate is li, if the linkage value clears the
+// threshold and the caps allow the union.
+func (g *agg) propose(a, b int32, li linkInfo) {
+	if a > b {
+		a, b = b, a
+	}
+	ca, cb := &g.clusters[a], &g.clusters[b]
+	if !ca.alive || !cb.alive {
+		return
+	}
+	sim := li.value(g.cfg.Linkage, ca.objects, cb.objects)
+	if sim < g.cfg.Threshold {
+		return
+	}
+	if g.cfg.MaxObjects > 0 && ca.objects+cb.objects > int64(g.cfg.MaxObjects) {
+		return
+	}
+	if g.cfg.MaxBytes > 0 && ca.bytes+cb.bytes > g.cfg.MaxBytes {
+		return
+	}
+	g.heap.push(candidate{
+		sim:  sim,
+		ab:   uint64(uint32(a))<<32 | uint64(uint32(b)),
+		verA: ca.version, verB: cb.version,
+	})
+}
+
+// proposeLookup re-proposes the pair (a, b) from its stored adjacency, if
+// the clusters are still linked; used when a stale heap entry surfaces.
+func (g *agg) proposeLookup(a, b int32) {
+	if a == b {
+		return
+	}
+	cl := &g.clusters[a]
+	p := findKey(g.nbrs[cl.adjOff:cl.adjOff+cl.adjLen], b)
+	if p < 0 {
+		return
+	}
+	g.propose(a, b, g.links[int(cl.adjOff)+p])
+}
+
+// renameNbr rewrites k's entry for old to refer to new with aggregate li,
+// keeping k's span sorted. new must not already be present in the span
+// (guaranteed: renames happen only for neighbors adjacent to exactly one
+// of the merging pair). The entry is rotated directly from old's slot to
+// new's sorted slot, moving only the records between the two positions.
+func (g *agg) renameNbr(k, old, new int32, li linkInfo) {
+	cl := &g.clusters[k]
+	off, n := int(cl.adjOff), int(cl.adjLen)
+	keys := g.nbrs[off : off+n]
+	lis := g.links[off : off+n]
+	po := findKey(keys, old)
+	lb := lowerBound(keys, new)
+	if lb > po {
+		lb--
+		copy(keys[po:lb], keys[po+1:lb+1])
+		copy(lis[po:lb], lis[po+1:lb+1])
+	} else {
+		copy(keys[lb+1:po+1], keys[lb:po])
+		copy(lis[lb+1:po+1], lis[lb:po])
+	}
+	keys[lb] = new
+	lis[lb] = li
+}
+
+// mergeNbr collapses k's entries for the merging pair (a absorbs b): a's
+// entry takes the merged aggregate li and b's entry is removed, shrinking
+// k's span by one.
+func (g *agg) mergeNbr(k, a, b int32, li linkInfo) {
+	cl := &g.clusters[k]
+	off, n := int(cl.adjOff), int(cl.adjLen)
+	keys := g.nbrs[off : off+n]
+	lis := g.links[off : off+n]
+	lis[findKey(keys, a)] = li
+	pb := findKey(keys, b)
+	copy(keys[pb:], keys[pb+1:])
+	copy(lis[pb:], lis[pb+1:])
+	cl.adjLen--
+	g.live--
+}
+
+// ensure guarantees capacity for need appended entries without moving the
+// arena backing mid-merge. When at least half the arena is dead it compacts
+// live spans into the spare buffer (swapping the two), otherwise it grows.
+func (g *agg) ensure(need int) {
+	if len(g.nbrs)+need <= cap(g.nbrs) {
+		return
+	}
+	if g.live <= len(g.nbrs)/2 {
+		want := g.live + need
+		if cap(g.spareN) < want {
+			g.spareN = make([]int32, 0, 2*want)
+			g.spareL = make([]linkInfo, 0, 2*want)
+		}
+		dstN, dstL := g.spareN[:0], g.spareL[:0]
+		for i := range g.clusters {
+			c := &g.clusters[i]
+			if !c.alive || c.adjLen == 0 {
+				continue
+			}
+			off := int32(len(dstN))
+			dstN = append(dstN, g.nbrs[c.adjOff:c.adjOff+c.adjLen]...)
+			dstL = append(dstL, g.links[c.adjOff:c.adjOff+c.adjLen]...)
+			c.adjOff = off
+		}
+		oldN, oldL := g.nbrs, g.links
+		g.nbrs, g.links = dstN, dstL
+		g.spareN, g.spareL = oldN[:0], oldL[:0]
+		if len(g.nbrs)+need <= cap(g.nbrs) {
+			return
+		}
+	}
+	grownN := make([]int32, len(g.nbrs), 2*cap(g.nbrs)+need)
+	grownL := make([]linkInfo, len(g.links), 2*cap(g.nbrs)+need)
+	copy(grownN, g.nbrs)
+	copy(grownL, g.links)
+	g.nbrs, g.links = grownN, grownL
+}
+
+// union merges cluster b into a (a keeps its index), assuming a, b are live
+// roots and the caller already validated the merge. The new adjacency span
+// for a is written at the arena tail by a linear merge of a's and b's spans
+// in ascending neighbor order; for each neighbor taken from b's side the
+// reverse edge is retargeted and the refreshed pair proposed — the same
+// visit order, aggregate values, and heap pushes as the old map fold over
+// b's sorted keys.
+func (g *agg) union(a, b int32, sim float64) {
+	ca, cb := &g.clusters[a], &g.clusters[b]
+	// Reserve arena room first: a compaction here still sees both spans as
+	// live and relocates them coherently before we capture them below.
+	g.ensure(int(ca.adjLen) + int(cb.adjLen))
+	g.parent[b] = a
+	ca.version++
+	g.atomNext[ca.atomTail] = cb.atomHead
+	ca.atomTail = cb.atomTail
+	ca.objects += cb.objects
+	ca.bytes += cb.bytes
+	wa := g.bits[int(a)*g.words : (int(a)+1)*g.words]
+	wb := g.bits[int(b)*g.words : (int(b)+1)*g.words]
+	for wi := range wa {
+		wa[wi] |= wb[wi]
+	}
+	ca.cohesion = sim
+	cb.alive = false
+
+	ka := g.nbrs[ca.adjOff : ca.adjOff+ca.adjLen]
+	la := g.links[ca.adjOff : ca.adjOff+ca.adjLen]
+	kb := g.nbrs[cb.adjOff : cb.adjOff+cb.adjLen]
+	lb := g.links[cb.adjOff : cb.adjOff+cb.adjLen]
+	base := len(g.nbrs)
+	g.live -= len(ka) + len(kb)
+	ia, ib := 0, 0
+	for ia < len(ka) && ib < len(kb) {
+		if ka[ia] == b {
+			ia++
+			continue
+		}
+		if kb[ib] == a {
+			ib++
+			continue
+		}
+		switch {
+		case ka[ia] < kb[ib]:
+			// Run of a-only neighbors: aggregates unchanged and no side
+			// effects, so the whole run up to the next b-side key (or b's
+			// own entry, which must be skipped) is one bulk copy. a is the
+			// larger adjacency, so this is the common case.
+			lim := kb[ib]
+			if b > ka[ia] && b < lim {
+				lim = b
+			}
+			run := ia + 1
+			for run < len(ka) && ka[run] < lim {
+				run++
+			}
+			g.nbrs = append(g.nbrs, ka[ia:run]...)
+			g.links = append(g.links, la[ia:run]...)
+			g.live += run - ia
+			ia = run
+		case kb[ib] < ka[ia]:
+			// Neighbor of b only: a inherits the aggregate; retarget the
+			// reverse edge and propose the refreshed pair.
+			k, li := kb[ib], lb[ib]
+			g.nbrs = append(g.nbrs, k)
+			g.links = append(g.links, li)
+			g.live++
+			g.renameNbr(k, b, a, li)
+			g.propose(a, k, li)
+			ib++
+		default:
+			// Shared neighbor: merge the aggregates (a's first, matching
+			// the old fold's mergeLink(prev, li) argument order).
+			k := ka[ia]
+			li := mergeLink(la[ia], lb[ib])
+			g.nbrs = append(g.nbrs, k)
+			g.links = append(g.links, li)
+			g.live++
+			g.mergeNbr(k, a, b, li)
+			g.propose(a, k, li)
+			ia++
+			ib++
+		}
+	}
+	// a's tail: one or two bulk copies around b's entry if it is still ahead.
+	if ia < len(ka) {
+		pb := len(ka)
+		if b >= ka[ia] {
+			pb = ia + lowerBound(ka[ia:], b)
+		}
+		g.nbrs = append(g.nbrs, ka[ia:pb]...)
+		g.links = append(g.links, la[ia:pb]...)
+		g.live += pb - ia
+		if pb < len(ka) {
+			g.nbrs = append(g.nbrs, ka[pb+1:]...)
+			g.links = append(g.links, la[pb+1:]...)
+			g.live += len(ka) - pb - 1
+		}
+	}
+	// b's tail: still needs the per-entry retarget and refresh.
+	for ; ib < len(kb); ib++ {
+		if kb[ib] == a {
+			continue
+		}
+		k, li := kb[ib], lb[ib]
+		g.nbrs = append(g.nbrs, k)
+		g.links = append(g.links, li)
+		g.live++
+		g.renameNbr(k, b, a, li)
+		g.propose(a, k, li)
+	}
+	ca.adjOff = int32(base)
+	ca.adjLen = int32(len(g.nbrs) - base)
+	cb.adjLen = 0
+}
+
+func agglomerateInto(w *model.Workload, atoms []atom, cfg Config, s *scratch, workers int) []Cluster {
 	nReq := len(w.Requests)
 	words := (nReq + 63) / 64
-	edges := buildEdges(w, atoms)
-	// Pre-count adjacency degrees so every neighbor map is born at its
-	// final initial size: growing thousands of small maps insert-by-insert
-	// was the single largest allocation source in clustering.
-	degree := make([]int, len(atoms))
+	edges := buildEdgesInto(w, atoms, s, workers)
+	n := len(atoms)
+
+	// Pre-count adjacency degrees so every span is born at its final
+	// initial size inside one arena.
+	degree := growI32(s.degree, n)
 	for _, e := range edges {
 		degree[e.a]++
 		degree[e.b]++
 	}
-	// One arena for the cluster structs and one for all request bitsets —
-	// 2 allocations in place of 2·len(atoms).
-	arena := make([]liveCluster, len(atoms))
-	bits := make([]uint64, words*len(atoms))
-	clusters := make([]*liveCluster, len(atoms))
-	for i, a := range atoms {
-		c := &arena[i]
-		*c = liveCluster{
-			alive:     true,
-			atoms:     []int{i},
-			objects:   int64(len(a.objects)),
-			bytes:     a.bytes,
-			reqBits:   bits[i*words : (i+1)*words : (i+1)*words],
-			cohesion:  math.Inf(1),
-			neighbors: make(map[int]linkInfo, degree[i]),
-		}
-		for _, r := range a.reqs {
-			c.reqBits[int(r)/64] |= 1 << (uint(r) % 64)
-		}
-		clusters[i] = c
+	clusters := growSlice(s.clusters, n)
+	atomNext := growSlice(s.atomNext, n)
+	parent := growSlice(s.parent, n)
+	bitsArena := growSlice(s.bits, words*n)
+	for i := range bitsArena {
+		bitsArena[i] = 0
 	}
-
-	// Union-find so stale heap entries can be retargeted to the clusters
-	// that absorbed their endpoints.
-	parent := make([]int, len(atoms))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
+	nbrs := growSlice(s.nbrs, 2*len(edges))
+	links := growSlice(s.links, 2*len(edges))
+	off := int32(0)
+	for i := range atoms {
+		clusters[i] = liveCluster{
+			objects:  int64(len(atoms[i].objects)),
+			bytes:    atoms[i].bytes,
+			cohesion: math.Inf(1),
+			adjOff:   off,
+			adjLen:   degree[i],
+			atomHead: int32(i),
+			atomTail: int32(i),
+			alive:    true,
 		}
-		return x
+		off += degree[i]
+		atomNext[i] = -1
+		parent[i] = int32(i)
+		cw := bitsArena[i*words : (i+1)*words]
+		for _, r := range atoms[i].reqs {
+			cw[int(r)/64] |= 1 << (uint(r) % 64)
+		}
 	}
-
 	// The heap sees at most one initial proposal per edge plus lazy
 	// refreshes; starting at edge capacity removes nearly all regrowth.
-	h := make(candHeap, 0, len(edges))
-	// push proposes merging live clusters a and b if their current linkage
-	// clears the threshold and the caps allow the union.
-	push := func(a, b int) {
-		if a == b {
-			return
-		}
-		ca, cb := clusters[a], clusters[b]
-		li, ok := ca.neighbors[b]
-		if !ok {
-			return
-		}
-		sim := li.value(cfg.Linkage, ca.objects, cb.objects)
-		if sim < cfg.Threshold {
-			return
-		}
-		if cfg.MaxObjects > 0 && ca.objects+cb.objects > int64(cfg.MaxObjects) {
-			return
-		}
-		if cfg.MaxBytes > 0 && ca.bytes+cb.bytes > cfg.MaxBytes {
-			return
-		}
-		h.push(candidate{sim: sim, a: int32(a), b: int32(b), verA: ca.version, verB: cb.version})
+	if cap(s.heap) < len(edges) {
+		s.heap = make(candHeap, 0, len(edges))
 	}
+	s.heap = s.heap[:0]
 
+	g := &agg{
+		cfg: cfg, words: words,
+		clusters: clusters, parent: parent, atomNext: atomNext,
+		bits: bitsArena, nbrs: nbrs, links: links,
+		spareN: s.spareN[:0], spareL: s.spareL[:0],
+		live: 2 * len(edges), heap: &s.heap,
+	}
+	// Initial fill: edges are sorted by (a, b), so filling both directions
+	// in edge order leaves every span sorted by neighbor.
+	cur := growSlice(s.cursor, n)
+	for i := range clusters {
+		cur[i] = clusters[i].adjOff
+	}
 	for _, e := range edges {
-		ca, cb := clusters[e.a], clusters[e.b]
+		ca, cb := &clusters[e.a], &clusters[e.b]
 		li := linkInfo{
 			sumSim: e.sim * float64(ca.objects*cb.objects),
 			minSim: e.sim,
 			maxSim: e.sim,
 			pairs:  ca.objects * cb.objects,
 		}
-		ca.neighbors[e.b] = li
-		cb.neighbors[e.a] = li
-		push(e.a, e.b)
+		g.nbrs[cur[e.a]], g.links[cur[e.a]] = int32(e.b), li
+		cur[e.a]++
+		g.nbrs[cur[e.b]], g.links[cur[e.b]] = int32(e.a), li
+		cur[e.b]++
+		g.propose(int32(e.a), int32(e.b), li)
 	}
+	s.cursor = cur
 
-	// keys is reused across merges for the deterministic adjacency fold.
-	var keys []int
-	for len(h) > 0 {
-		c := h.pop()
-		a, b := find(int(c.a)), find(int(c.b))
+	for len(*g.heap) > 0 {
+		c := g.heap.pop()
+		pa, pb := c.pair()
+		a, b := g.find(pa), g.find(pb)
 		if a == b {
 			continue
 		}
-		ca, cb := clusters[a], clusters[b]
-		if a != int(c.a) || b != int(c.b) || ca.version != c.verA || cb.version != c.verB {
+		ca, cb := &clusters[a], &clusters[b]
+		if a != pa || b != pb || ca.version != c.verA || cb.version != c.verB {
 			// Stale: the endpoints merged or changed since this proposal.
 			// Re-evaluate the surviving pair lazily (no proactive fan-out
 			// after merges keeps the heap small).
 			if a > b {
 				a, b = b, a
 			}
-			push(a, b)
+			g.proposeLookup(a, b)
 			continue
 		}
 		// Merge the smaller adjacency into the larger.
-		if len(cb.neighbors) > len(ca.neighbors) {
+		if cb.adjLen > ca.adjLen {
 			a, b = b, a
-			ca, cb = cb, ca
 		}
-		parent[b] = a
-		ca.version++
-		ca.atoms = append(ca.atoms, cb.atoms...)
-		ca.objects += cb.objects
-		ca.bytes += cb.bytes
-		for wi := range ca.reqBits {
-			ca.reqBits[wi] |= cb.reqBits[wi]
-		}
-		ca.cohesion = c.sim
-		cb.alive = false
-		delete(ca.neighbors, b)
-		delete(cb.neighbors, a)
-		// Fold b's adjacency into a's, deterministically.
-		keys = keys[:0]
-		for k := range cb.neighbors {
-			keys = append(keys, k)
-		}
-		sort.Ints(keys)
-		for _, k := range keys {
-			li := cb.neighbors[k]
-			if prev, ok := ca.neighbors[k]; ok {
-				li = mergeLink(prev, li)
-			}
-			ca.neighbors[k] = li
-			delete(clusters[k].neighbors, b)
-			clusters[k].neighbors[a] = li
-			// Propose the refreshed pair once; further refreshes happen
-			// lazily when stale entries surface.
-			if clusters[k].alive {
-				if a < k {
-					push(a, k)
-				} else {
-					push(k, a)
-				}
-			}
-		}
-		cb.neighbors = nil
+		g.union(a, b, c.sim)
 	}
 
-	// Materialize clusters.
-	var out []Cluster
-	for _, c := range clusters {
+	// Write the scratch-owned state back (the arena may have been swapped
+	// or regrown) before materializing the freshly allocated output.
+	s.clusters, s.parent, s.atomNext = g.clusters, g.parent, g.atomNext
+	s.bits, s.degree = g.bits, degree
+	s.nbrs, s.links, s.spareN, s.spareL = g.nbrs, g.links, g.spareN, g.spareL
+
+	nAlive, totObjs := 0, 0
+	for i := range clusters {
+		if clusters[i].alive {
+			nAlive++
+			totObjs += int(clusters[i].objects)
+		}
+	}
+	out := make([]Cluster, 0, nAlive)
+	objArena := make([]model.ObjectID, 0, totObjs)
+	for i := range clusters {
+		c := &clusters[i]
 		if !c.alive {
 			continue
 		}
-		cl := Cluster{Bytes: c.bytes, Cohesion: c.cohesion,
-			Objects: make([]model.ObjectID, 0, c.objects)}
-		for _, ai := range c.atoms {
-			cl.Objects = append(cl.Objects, atoms[ai].objects...)
+		start := len(objArena)
+		for ai := c.atomHead; ; ai = atomNext[ai] {
+			objArena = append(objArena, atoms[ai].objects...)
+			if ai == c.atomTail {
+				break
+			}
 		}
-		sort.Slice(cl.Objects, func(i, j int) bool { return cl.Objects[i] < cl.Objects[j] })
-		for ri := range w.Requests {
-			if c.reqBits[ri/64]&(1<<(uint(ri)%64)) != 0 {
+		objs := objArena[start:len(objArena):len(objArena)]
+		slices.Sort(objs)
+		cl := Cluster{Objects: objs, Bytes: c.bytes, Cohesion: c.cohesion}
+		cw := bitsArena[i*words : (i+1)*words]
+		for wi, word := range cw {
+			for word != 0 {
+				ri := wi*64 + bits.TrailingZeros64(word)
 				cl.Prob += w.Requests[ri].Prob
+				word &= word - 1
 			}
 		}
 		out = append(out, cl)

@@ -26,9 +26,10 @@
 package faults
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"paralleltape/internal/dist"
 	"paralleltape/internal/rng"
@@ -317,7 +318,15 @@ func sortScript(ws []window) error {
 	if len(ws) == 0 {
 		return nil
 	}
-	sort.Slice(ws, func(i, j int) bool { return ws[i].at < ws[j].at })
+	// Windows may share a start time (the overlap check below rejects any
+	// such pair with positive duration), so break ties on until to keep the
+	// unstable sort deterministic.
+	slices.SortFunc(ws, func(a, b window) int {
+		if a.at != b.at {
+			return cmp.Compare(a.at, b.at)
+		}
+		return cmp.Compare(a.until, b.until)
+	})
 	for i := 1; i < len(ws); i++ {
 		if ws[i].at < ws[i-1].until {
 			return fmt.Errorf("scripted outages overlap at t=%v", ws[i].at)

@@ -1,0 +1,50 @@
+package loadbalance
+
+import "testing"
+
+// TestPackerZeroAllocs pins the Packer's steady-state behavior: once its
+// buffers are sized, Zigzag and FirstFit perform no allocations. Placement
+// calls the balancer once per unit, so a per-call allocation here scales
+// with the cluster count.
+func TestPackerZeroAllocs(t *testing.T) {
+	items := make([]Item, 32)
+	for i := range items {
+		items[i] = Item{Load: float64((i * 29) % 11), Size: int64(i%5 + 1)}
+	}
+	mkTapes := func() ([]TapeState, []*TapeState) {
+		arr := make([]TapeState, 6)
+		ptrs := make([]*TapeState, len(arr))
+		for i := range arr {
+			arr[i] = TapeState{Free: 1 << 20}
+			ptrs[i] = &arr[i]
+		}
+		return arr, ptrs
+	}
+	var p Packer
+	arr, tapes := mkTapes()
+	if _, err := p.Zigzag(items, tapes, 4); err != nil { // size the buffers
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(100, func() {
+		for i := range arr {
+			arr[i] = TapeState{Free: 1 << 20}
+		}
+		if _, err := p.Zigzag(items, tapes, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Packer.Zigzag allocates %.0f/run after warm-up, want 0", n)
+	}
+	n = testing.AllocsPerRun(100, func() {
+		for i := range arr {
+			arr[i] = TapeState{Free: 1 << 20}
+		}
+		if _, err := p.FirstFit(items, tapes); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Packer.FirstFit allocates %.0f/run after warm-up, want 0", n)
+	}
+}

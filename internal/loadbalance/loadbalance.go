@@ -82,6 +82,29 @@ func ChooseSpread(clusterBytes int64, numObjects, numTapes int, splitThreshold i
 // (the caller spills such items to another batch) — and updates each
 // tape's Load and Free.
 func Zigzag(items []Item, tapes []*TapeState, ndrv int) ([]int, error) {
+	var p Packer
+	return p.Zigzag(items, tapes, ndrv)
+}
+
+// ordered pairs an item with its input position so the load sort can break
+// ties by input order without a stable algorithm.
+type ordered struct {
+	item Item
+	pos  int
+}
+
+// Packer is an allocation-free Zigzag/FirstFit: the sort, ranking, and
+// output buffers are reused across calls, so a caller packing many
+// clusters (placement's batch loop) pays for them once. Returned slices
+// are owned by the Packer and valid until its next call.
+type Packer struct {
+	ord []ordered
+	idx []int
+	out []int
+}
+
+// Zigzag is the package-level Zigzag on reused buffers; identical results.
+func (p *Packer) Zigzag(items []Item, tapes []*TapeState, ndrv int) ([]int, error) {
 	if len(items) == 0 {
 		return nil, nil
 	}
@@ -100,11 +123,10 @@ func Zigzag(items []Item, tapes []*TapeState, ndrv int) ([]int, error) {
 	// Sort items ascending by load, remembering input positions. Ties keep
 	// input order: (Load, pos) is a total order, so the allocation-free
 	// unstable sort reproduces what a stable sort on Load alone would.
-	type ordered struct {
-		item Item
-		pos  int
+	if cap(p.ord) < len(items) {
+		p.ord = make([]ordered, len(items))
 	}
-	ord := make([]ordered, len(items))
+	ord := p.ord[:len(items)]
 	for i, it := range items {
 		ord[i] = ordered{item: it, pos: i}
 	}
@@ -121,9 +143,12 @@ func Zigzag(items []Item, tapes []*TapeState, ndrv int) ([]int, error) {
 	// Candidate tapes: the ndrv least-loaded, indexed ascending by load,
 	// ties by original index for determinism. The zigzag walks this
 	// ranking.
-	rank := leastLoadedOrder(tapes)[:ndrv]
+	rank := p.leastLoaded(tapes)[:ndrv]
 
-	out := make([]int, len(items))
+	if cap(p.out) < len(items) {
+		p.out = make([]int, len(items))
+	}
+	out := p.out[:len(items)]
 	i, flag := 0, 0
 	for _, o := range ord {
 		// Figure 3 index walk.
@@ -166,13 +191,23 @@ func Zigzag(items []Item, tapes []*TapeState, ndrv int) ([]int, error) {
 // most free space that can hold it, ignoring access-probability load.
 // Unplaceable items are reported as −1, like Zigzag.
 func FirstFit(items []Item, tapes []*TapeState) ([]int, error) {
+	var p Packer
+	return p.FirstFit(items, tapes)
+}
+
+// FirstFit is the first-fit baseline on the Packer's reused output buffer;
+// identical results to the package-level FirstFit.
+func (p *Packer) FirstFit(items []Item, tapes []*TapeState) ([]int, error) {
 	if len(items) == 0 {
 		return nil, nil
 	}
 	if len(tapes) == 0 {
 		return nil, fmt.Errorf("loadbalance: no tapes")
 	}
-	out := make([]int, len(items))
+	if cap(p.out) < len(items) {
+		p.out = make([]int, len(items))
+	}
+	out := p.out[:len(items)]
 	for k, it := range items {
 		best := -1
 		for ti, t := range tapes {
@@ -220,7 +255,16 @@ func Imbalance(tapes []*TapeState) float64 {
 }
 
 func leastLoadedOrder(tapes []*TapeState) []int {
-	idx := make([]int, len(tapes))
+	var p Packer
+	return p.leastLoaded(tapes)
+}
+
+// leastLoaded is leastLoadedOrder into the Packer's reused index buffer.
+func (p *Packer) leastLoaded(tapes []*TapeState) []int {
+	if cap(p.idx) < len(tapes) {
+		p.idx = make([]int, len(tapes))
+	}
+	idx := p.idx[:len(tapes)]
 	for i := range idx {
 		idx[i] = i
 	}

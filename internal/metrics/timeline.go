@@ -9,7 +9,8 @@ package metrics
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"strings"
 
 	"paralleltape/internal/spans"
 	"paralleltape/internal/trace"
@@ -174,20 +175,22 @@ func BuildTimeline(events []trace.Event) *Timeline {
 		}
 		tl.Drives = append(tl.Drives, *d)
 	}
-	sort.Slice(tl.Drives, func(i, j int) bool {
-		if tl.Drives[i].Library != tl.Drives[j].Library {
-			return tl.Drives[i].Library < tl.Drives[j].Library
+	// One entry per drive / library / queue name, so each key below is a
+	// total order and the unstable slices.SortFunc is deterministic.
+	slices.SortFunc(tl.Drives, func(a, b DriveTimeline) int {
+		if a.Library != b.Library {
+			return a.Library - b.Library
 		}
-		return tl.Drives[i].Drive < tl.Drives[j].Drive
+		return a.Drive - b.Drive
 	})
 	for _, r := range robots {
 		tl.Robots = append(tl.Robots, *r)
 	}
-	sort.Slice(tl.Robots, func(i, j int) bool { return tl.Robots[i].Library < tl.Robots[j].Library })
+	slices.SortFunc(tl.Robots, func(a, b RobotTimeline) int { return a.Library - b.Library })
 	for _, q := range queues {
 		tl.Queues = append(tl.Queues, *q)
 	}
-	sort.Slice(tl.Queues, func(i, j int) bool { return tl.Queues[i].Name < tl.Queues[j].Name })
+	slices.SortFunc(tl.Queues, func(a, b QueueSeries) int { return strings.Compare(a.Name, b.Name) })
 	// Phase attribution is best-effort: a complete trace reconstructs into
 	// span trees, a truncated one (capped buffer) simply drops the section.
 	if sess, err := spans.Build(events); err == nil {

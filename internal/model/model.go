@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 )
 
 // ObjectID identifies one data object (0-based, dense).
@@ -152,7 +152,7 @@ func (w *Workload) RequestsByObject() [][]RequestID {
 		}
 	}
 	for _, l := range idx {
-		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+		slices.Sort(l)
 	}
 	return idx
 }

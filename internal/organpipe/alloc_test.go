@@ -1,0 +1,22 @@
+package organpipe
+
+import "testing"
+
+// TestArrangerZeroAllocs pins the Arranger's steady-state behavior: once its
+// two buffers are sized, Arrange performs no allocations. The placement
+// finish step calls it once per cartridge, so any per-call allocation here
+// multiplies across the whole system.
+func TestArrangerZeroAllocs(t *testing.T) {
+	items := make([]Item, 64)
+	for i := range items {
+		items[i] = Item{Index: i, Weight: float64((i * 37) % 13)}
+	}
+	var a Arranger
+	a.Arrange(items) // size the buffers
+	n := testing.AllocsPerRun(100, func() {
+		a.Arrange(items)
+	})
+	if n != 0 {
+		t.Fatalf("Arranger.Arrange allocates %.0f/run after warm-up, want 0", n)
+	}
+}

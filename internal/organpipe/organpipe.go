@@ -5,7 +5,10 @@
 // accesses under independent access probabilities.
 package organpipe
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Item is anything alignable: a weight (access probability) plus an opaque
 // payload index the caller maps back to its objects.
@@ -26,15 +29,38 @@ func Arrange(items []Item) []Item {
 	if n == 0 {
 		return nil
 	}
-	sorted := make([]Item, n)
+	var a Arranger
+	return a.Arrange(items)
+}
+
+// Arranger is an allocation-free Arrange: its two work buffers are reused
+// across calls, so a caller aligning many tapes (placement's finish step)
+// pays for the buffers once. The slice returned by Arrange is owned by the
+// Arranger and valid until the next call.
+type Arranger struct {
+	sorted []Item
+	out    []Item
+}
+
+// Arrange computes the organ-pipe permutation of items into the Arranger's
+// reused output buffer. Identical results to the package-level Arrange.
+func (a *Arranger) Arrange(items []Item) []Item {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	if cap(a.sorted) < n {
+		a.sorted = make([]Item, n)
+		a.out = make([]Item, n)
+	}
+	sorted, out := a.sorted[:n], a.out[:n]
 	copy(sorted, items)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].Weight != sorted[j].Weight {
-			return sorted[i].Weight > sorted[j].Weight
+	slices.SortStableFunc(sorted, func(x, y Item) int {
+		if x.Weight != y.Weight {
+			return cmp.Compare(y.Weight, x.Weight)
 		}
-		return sorted[i].Index < sorted[j].Index
+		return cmp.Compare(x.Index, y.Index)
 	})
-	out := make([]Item, n)
 	// Center placement: for n items the center slot is (n-1)/2; items
 	// 2,3,4,... alternate right, left, right, ...
 	center := (n - 1) / 2

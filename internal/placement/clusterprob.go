@@ -47,7 +47,7 @@ func (s ClusterProbability) Place(w *model.Workload, hw tape.Hardware) (*Result,
 		}
 	}
 
-	b := newBuilder(w, hw)
+	b := newBuilder(w, hw, w.ObjectProbs())
 	kCap := int64(float64(hw.Capacity) * k)
 	nextRank := 0
 	// Open tapes still eligible for packing, in creation order. Keys are

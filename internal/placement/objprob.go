@@ -41,7 +41,7 @@ func (s ObjectProbability) Place(w *model.Workload, hw tape.Hardware) (*Result, 
 	if err := checkFits(w, hw, k); err != nil {
 		return nil, err
 	}
-	b := newBuilder(w, hw)
+	b := newBuilder(w, hw, w.ObjectProbs())
 	kCap := int64(float64(hw.Capacity) * k)
 	groupWidth := s.GroupWidth
 	if groupWidth <= 0 {

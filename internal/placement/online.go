@@ -76,7 +76,8 @@ func (s Online) Place(w *model.Workload, hw tape.Hardware) (*Result, error) {
 	capLater := int64(k * float64(n*m) * float64(hw.Capacity))
 
 	probs := w.ObjectProbs()
-	b := newBuilder(w, hw)
+	b := newBuilder(w, hw, probs)
+	var as allocScratch
 
 	waveSize := (w.NumObjects() + epochs - 1) / epochs
 	// Switch batches persist across waves: a new wave first appends to the
@@ -147,7 +148,7 @@ func (s Online) Place(w *model.Workload, hw tape.Hardware) (*Result, error) {
 				keys = openKeys
 				openBudget -= sublistBytes(sub)
 			}
-			carry, err := allocateSublist(b, w, probs, sub, keys, split, false)
+			carry, err := allocateSublist(b, w, probs, sub, keys, split, false, &as)
 			if err != nil {
 				return nil, err
 			}
@@ -156,7 +157,7 @@ func (s Online) Place(w *model.Workload, hw tape.Hardware) (*Result, error) {
 				if err := openFresh(); err != nil {
 					return nil, err
 				}
-				next, err := allocateSublist(b, w, probs, carry, openKeys, split, false)
+				next, err := allocateSublist(b, w, probs, carry, openKeys, split, false, &as)
 				if err != nil {
 					return nil, err
 				}
@@ -191,7 +192,7 @@ func (s Online) Place(w *model.Workload, hw tape.Hardware) (*Result, error) {
 			if d < dm {
 				pinned[lib][d] = true
 			}
-			if _, ok := b.contents[tape.Key{Library: lib, Index: ti}]; ok {
+			if b.has(tape.Key{Library: lib, Index: ti}) {
 				mounts[lib][d] = ti
 			} else {
 				mounts[lib][d] = -1
@@ -206,7 +207,7 @@ func (s Online) Place(w *model.Workload, hw tape.Hardware) (*Result, error) {
 		InitialMounts: mounts,
 		Pinned:        pinned,
 		TapeProb:      tapeProb,
-		TapesUsed:     len(b.order),
+		TapesUsed:     b.numTapes(),
 	}, nil
 }
 
@@ -280,22 +281,42 @@ func sortUnitsByDensity(units []unit) {
 	})
 }
 
+// allocScratch holds the buffers allocateSublist reuses across calls: the
+// tape-state arrays, the unit ordering, the balancer item list, and the
+// balancer's own Packer. A placement run threads one scratch through every
+// sublist it allocates, so the per-sublist cost is a handful of slice
+// reslices rather than five allocations.
+type allocScratch struct {
+	packer loadbalance.Packer
+	states []loadbalance.TapeState
+	ptrs   []*loadbalance.TapeState
+	order  []int
+	items  []loadbalance.Item
+}
+
 // allocateSublist spreads one sublist's units over the batch keys with the
 // zigzag balancer (or first-fit when firstFit is set), hottest units
 // first. Units whose largest object cannot fit any tape of the batch
 // (large objects on small cartridges leave bin-packing slack short) are
 // returned as deferred so the caller can carry them into the next batch.
 func allocateSublist(b *builder, w *model.Workload, probs []float64,
-	sub []unit, keys []tape.Key, split int64, firstFit bool) ([]unit, error) {
+	sub []unit, keys []tape.Key, split int64, firstFit bool, as *allocScratch) ([]unit, error) {
 	// One backing array for the tape states instead of len(keys) separate
 	// allocations; the pointer slice view is what the balancer mutates.
-	stateArr := make([]loadbalance.TapeState, len(keys))
-	states := make([]*loadbalance.TapeState, len(keys))
+	if cap(as.states) < len(keys) {
+		as.states = make([]loadbalance.TapeState, len(keys))
+		as.ptrs = make([]*loadbalance.TapeState, len(keys))
+	}
+	stateArr := as.states[:len(keys)]
+	states := as.ptrs[:len(keys)]
 	for i, key := range keys {
 		stateArr[i] = loadbalance.TapeState{Free: b.free(key)}
 		states[i] = &stateArr[i]
 	}
-	order := make([]int, len(sub))
+	if cap(as.order) < len(sub) {
+		as.order = make([]int, len(sub))
+	}
+	order := as.order[:len(sub)]
 	for i := range order {
 		order[i] = i
 	}
@@ -314,7 +335,9 @@ func allocateSublist(b *builder, w *model.Workload, probs []float64,
 			maxObjs = n
 		}
 	}
-	items := make([]loadbalance.Item, 0, maxObjs)
+	if cap(as.items) < maxObjs {
+		as.items = make([]loadbalance.Item, maxObjs)
+	}
 	var deferred []unit
 	for _, ui := range order {
 		u := sub[ui]
@@ -325,7 +348,7 @@ func allocateSublist(b *builder, w *model.Workload, probs []float64,
 			deferred = append(deferred, u)
 			continue
 		}
-		items = items[:len(u.objects)]
+		items := as.items[:len(u.objects)]
 		for i, id := range u.objects {
 			items[i] = loadbalance.Item{
 				Load: probs[id] * float64(w.Objects[id].Size),
@@ -335,10 +358,10 @@ func allocateSublist(b *builder, w *model.Workload, probs []float64,
 		var asg []int
 		var err error
 		if firstFit {
-			asg, err = loadbalance.FirstFit(items, states)
+			asg, err = as.packer.FirstFit(items, states)
 		} else {
 			ndrv := loadbalance.ChooseSpread(u.bytes, len(u.objects), len(keys), split)
-			asg, err = loadbalance.Zigzag(items, states, ndrv)
+			asg, err = as.packer.Zigzag(items, states, ndrv)
 		}
 		if err != nil {
 			return nil, err

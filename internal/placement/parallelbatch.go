@@ -2,6 +2,7 @@ package placement
 
 import (
 	"fmt"
+	"runtime"
 
 	"paralleltape/internal/cluster"
 	"paralleltape/internal/model"
@@ -43,6 +44,13 @@ type ParallelBatch struct {
 	// of the m-trade-off the paper's Figure 5 studies. The default is the
 	// literal §5.3 step 3 sizing, k·n·(d−m)·C_t.
 	WideHotBatch bool
+
+	// Parallel fans the placement pipeline across runtime.GOMAXPROCS
+	// workers: similarity-edge aggregation inside the internal cluster.Run
+	// call (ignored when Precomputed is set) and the per-tape alignment in
+	// the finish step. The placement is bit-identical with the knob on or
+	// off — see docs/PERFORMANCE.md for the determinism argument.
+	Parallel bool
 }
 
 // DefaultSplitThreshold is the cluster size above which splitting across
@@ -124,7 +132,8 @@ func (s ParallelBatch) Place(w *model.Workload, hw tape.Hardware) (*Result, erro
 	// the greedy zigzag balancer. Units that cannot fit a batch's
 	// remaining space (large objects on small cartridges) carry over to
 	// the next batch.
-	b := newBuilder(w, hw)
+	b := newBuilder(w, hw, probs)
+	var as allocScratch
 	tapesUsed := 0
 	var carry []unit
 	bi := 0
@@ -143,7 +152,7 @@ func (s ParallelBatch) Place(w *model.Workload, hw tape.Hardware) (*Result, erro
 		}
 		bi++
 		// Allocate hot units first so the balancer spreads them widest.
-		deferred, err := allocateSublist(b, w, probs, sub, keys, split, s.FirstFitBalance)
+		deferred, err := allocateSublist(b, w, probs, sub, keys, split, s.FirstFitBalance, &as)
 		if err != nil {
 			return nil, fmt.Errorf("placement: batch %d: %w", bi-1, err)
 		}
@@ -171,7 +180,13 @@ func (s ParallelBatch) Place(w *model.Workload, hw tape.Hardware) (*Result, erro
 		}
 		return AlignBOTDescending
 	}
-	cat, tapeProb, err := b.finish(align)
+	workers := 1
+	if s.Parallel {
+		if n := runtime.GOMAXPROCS(0); n > workers {
+			workers = n
+		}
+	}
+	cat, tapeProb, err := b.finishWorkers(align, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +207,7 @@ func (s ParallelBatch) Place(w *model.Workload, hw tape.Hardware) (*Result, erro
 			} else {
 				ti = dm + (d - dm) // batch-2 slot
 			}
-			if _, ok := b.contents[tape.Key{Library: lib, Index: ti}]; ok {
+			if b.has(tape.Key{Library: lib, Index: ti}) {
 				mounts[lib][d] = ti
 			} else {
 				mounts[lib][d] = -1
@@ -215,24 +230,27 @@ func (s ParallelBatch) Place(w *model.Workload, hw tape.Hardware) (*Result, erro
 // or per-object singletons (NoRefine ablation). Unreferenced objects are
 // always singleton units with zero probability mass.
 func (s ParallelBatch) buildUnits(w *model.Workload, probs []float64) ([]unit, error) {
-	singleton := func(id model.ObjectID) unit {
-		return unit{
-			objects:  []model.ObjectID{id},
-			bytes:    w.Objects[id].Size,
-			probMass: probs[id],
-		}
-	}
 	if s.NoRefine {
+		// One ID arena for every singleton instead of a one-element slice
+		// allocation per object.
+		all := make([]model.ObjectID, w.NumObjects())
 		out := make([]unit, w.NumObjects())
 		for i := range out {
-			out[i] = singleton(model.ObjectID(i))
+			all[i] = model.ObjectID(i)
+			out[i] = unit{
+				objects:  all[i : i+1 : i+1],
+				bytes:    w.Objects[i].Size,
+				probMass: probs[i],
+			}
 		}
 		return out, nil
 	}
 	res := s.Precomputed
 	if res == nil {
+		cfg := s.Clustering
+		cfg.Parallel = cfg.Parallel || s.Parallel
 		var err error
-		if res, err = cluster.Run(w, s.Clustering); err != nil {
+		if res, err = cluster.Run(w, cfg); err != nil {
 			return nil, err
 		}
 	}
@@ -244,8 +262,14 @@ func (s ParallelBatch) buildUnits(w *model.Workload, probs []float64) ([]unit, e
 		}
 		out = append(out, u)
 	}
-	for _, id := range res.Unreferenced {
-		out = append(out, singleton(id))
+	for i, id := range res.Unreferenced {
+		// Singletons subslice the result's own Unreferenced list — no
+		// per-object allocation.
+		out = append(out, unit{
+			objects:  res.Unreferenced[i : i+1 : i+1],
+			bytes:    w.Objects[id].Size,
+			probMass: probs[id],
+		})
 	}
 	return out, nil
 }

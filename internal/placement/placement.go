@@ -22,8 +22,11 @@
 package placement
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"paralleltape/internal/catalog"
 	"paralleltape/internal/model"
@@ -99,45 +102,80 @@ func (r *Result) Validate(w *model.Workload, hw tape.Hardware) error {
 	return nil
 }
 
-// builder accumulates per-tape object lists and finalizes them into
-// organ-pipe-aligned layouts registered in a catalog.
-type builder struct {
-	w        *model.Workload
-	hw       tape.Hardware
-	probs    []float64 // per-object probability
-	contents map[tape.Key][]model.ObjectID
-	used     map[tape.Key]int64
-	order    []tape.Key // creation order, for determinism
+// builderTape is one opened cartridge inside a builder: its identity, the
+// objects in insertion order, and the bytes written so far.
+type builderTape struct {
+	key  tape.Key
+	ids  []model.ObjectID
+	used int64
 }
 
-func newBuilder(w *model.Workload, hw tape.Hardware) *builder {
-	return &builder{
-		w:        w,
-		hw:       hw,
-		probs:    w.ObjectProbs(),
-		contents: make(map[tape.Key][]model.ObjectID),
-		used:     make(map[tape.Key]int64),
+// builder accumulates per-tape object lists and finalizes them into
+// organ-pipe-aligned layouts registered in a catalog. Cartridges live in a
+// flat slice in creation order, addressed through a dense
+// library×slot index — no map operations on the add hot path.
+type builder struct {
+	w       *model.Workload
+	hw      tape.Hardware
+	probs   []float64 // per-object probability
+	tapeIdx []int32   // dense key index → slot in tapes, -1 when unopened
+	tapes   []builderTape
+}
+
+// newBuilder wraps a workload for placement; probs must be w.ObjectProbs()
+// (passed in so schemes that already computed it don't pay twice).
+func newBuilder(w *model.Workload, hw tape.Hardware, probs []float64) *builder {
+	idx := make([]int32, hw.TotalTapes())
+	for i := range idx {
+		idx[i] = -1
 	}
+	return &builder{w: w, hw: hw, probs: probs, tapeIdx: idx}
+}
+
+func (b *builder) slot(k tape.Key) int {
+	return k.Library*b.hw.TapesPerLib + k.Index
 }
 
 // add places one object on a cartridge, enforcing the physical capacity.
+// A cartridge is opened (joins the creation order) only by a successful
+// first add.
 func (b *builder) add(k tape.Key, id model.ObjectID) error {
 	size := b.w.Objects[id].Size
-	if b.used[k]+size > b.hw.Capacity {
+	si := b.slot(k)
+	ti := b.tapeIdx[si]
+	var used int64
+	if ti >= 0 {
+		used = b.tapes[ti].used
+	}
+	if used+size > b.hw.Capacity {
 		return fmt.Errorf("placement: object %d (%d bytes) overflows %s", id, size, k)
 	}
-	if _, exists := b.contents[k]; !exists {
-		b.order = append(b.order, k)
+	if ti < 0 {
+		ti = int32(len(b.tapes))
+		b.tapeIdx[si] = ti
+		b.tapes = append(b.tapes, builderTape{key: k})
 	}
-	b.contents[k] = append(b.contents[k], id)
-	b.used[k] += size
+	t := &b.tapes[ti]
+	t.ids = append(t.ids, id)
+	t.used += size
 	return nil
 }
 
 // free returns the remaining physical capacity on a cartridge.
 func (b *builder) free(k tape.Key) int64 {
-	return b.hw.Capacity - b.used[k]
+	if ti := b.tapeIdx[b.slot(k)]; ti >= 0 {
+		return b.hw.Capacity - b.tapes[ti].used
+	}
+	return b.hw.Capacity
 }
+
+// has reports whether the cartridge holds at least one object.
+func (b *builder) has(k tape.Key) bool {
+	return b.tapeIdx[b.slot(k)] >= 0
+}
+
+// numTapes returns the number of opened cartridges.
+func (b *builder) numTapes() int { return len(b.tapes) }
 
 // Alignment selects how objects are ordered along one cartridge.
 type Alignment int
@@ -159,47 +197,102 @@ const (
 // finish aligns each cartridge according to align(key) (§5.3 step 6) and
 // builds the catalog plus the per-tape probability table.
 func (b *builder) finish(align func(tape.Key) Alignment) (*catalog.Catalog, map[tape.Key]float64, error) {
-	cat := catalog.New(b.w.NumObjects())
-	tapeProb := make(map[tape.Key]float64, len(b.contents))
-	for _, k := range b.order {
-		ids := b.contents[k]
-		ordered := ids
-		switch align(k) {
-		case AlignOrganPipe:
-			items := make([]organpipe.Item, len(ids))
-			for i, id := range ids {
-				items[i] = organpipe.Item{Index: i, Weight: b.probs[id]}
-			}
-			arranged := organpipe.Arrange(items)
-			ordered = make([]model.ObjectID, len(ids))
-			for i, it := range arranged {
-				ordered[i] = ids[it.Index]
-			}
-		case AlignBOTDescending:
-			ordered = make([]model.ObjectID, len(ids))
-			copy(ordered, ids)
-			sort.SliceStable(ordered, func(x, y int) bool {
-				px, py := b.probs[ordered[x]], b.probs[ordered[y]]
-				if px != py {
-					return px > py
-				}
-				return ordered[x] < ordered[y]
-			})
-		case AlignInsertion:
-			// keep insertion order
+	return b.finishWorkers(align, 1)
+}
+
+// alignWorker holds one worker's reusable alignment buffers.
+type alignWorker struct {
+	arr   organpipe.Arranger
+	items []organpipe.Item
+}
+
+// alignTape writes tape i's aligned object order into dst and returns the
+// tape's accumulated probability (summed in the aligned order, exactly as
+// the pre-rework finish did inside its append loop).
+func (b *builder) alignTape(wk *alignWorker, i int, dst []model.ObjectID, align func(tape.Key) Alignment) float64 {
+	t := &b.tapes[i]
+	switch align(t.key) {
+	case AlignOrganPipe:
+		if cap(wk.items) < len(t.ids) {
+			wk.items = make([]organpipe.Item, len(t.ids))
 		}
-		l := tape.NewLayout(k)
-		var prob float64
-		for _, id := range ordered {
+		items := wk.items[:len(t.ids)]
+		for j, id := range t.ids {
+			items[j] = organpipe.Item{Index: j, Weight: b.probs[id]}
+		}
+		for j, it := range wk.arr.Arrange(items) {
+			dst[j] = t.ids[it.Index]
+		}
+	case AlignBOTDescending:
+		copy(dst, t.ids)
+		slices.SortStableFunc(dst, func(x, y model.ObjectID) int {
+			px, py := b.probs[x], b.probs[y]
+			if px != py {
+				return cmp.Compare(py, px)
+			}
+			return cmp.Compare(x, y)
+		})
+	default: // AlignInsertion keeps insertion order
+		copy(dst, t.ids)
+	}
+	var prob float64
+	for _, id := range dst {
+		prob += b.probs[id]
+	}
+	return prob
+}
+
+// finishWorkers is finish with the per-tape alignment fanned across
+// workers goroutines. Tapes are independent — each worker owns its scratch
+// buffers and writes a disjoint region of one output arena — and the
+// catalog assembly below stays sequential in cartridge creation order, so
+// the result is bit-identical at any worker count.
+func (b *builder) finishWorkers(align func(tape.Key) Alignment, workers int) (*catalog.Catalog, map[tape.Key]float64, error) {
+	cat := catalog.New(b.w.NumObjects())
+	nt := len(b.tapes)
+	tapeProb := make(map[tape.Key]float64, nt)
+	offs := make([]int, nt+1)
+	for i := range b.tapes {
+		offs[i+1] = offs[i] + len(b.tapes[i].ids)
+	}
+	ordered := make([]model.ObjectID, offs[nt])
+	probsOut := make([]float64, nt)
+	if workers > 1 && nt > 1 {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var wk alignWorker
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= nt {
+						return
+					}
+					probsOut[i] = b.alignTape(&wk, i, ordered[offs[i]:offs[i+1]], align)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		var wk alignWorker
+		for i := 0; i < nt; i++ {
+			probsOut[i] = b.alignTape(&wk, i, ordered[offs[i]:offs[i+1]], align)
+		}
+	}
+	for i := range b.tapes {
+		t := &b.tapes[i]
+		l := tape.NewLayoutWithCapacity(t.key, len(t.ids))
+		for _, id := range ordered[offs[i]:offs[i+1]] {
 			if _, err := l.Append(id, b.w.Objects[id].Size, b.hw.Capacity); err != nil {
 				return nil, nil, err
 			}
-			prob += b.probs[id]
 		}
 		if err := cat.AddLayout(l); err != nil {
 			return nil, nil, err
 		}
-		tapeProb[k] = prob
+		tapeProb[t.key] = probsOut[i]
 	}
 	return cat, tapeProb, nil
 }
@@ -236,11 +329,13 @@ func hottestMounts(hw tape.Hardware, tapeProb map[tape.Key]float64) ([][]int, []
 				cands = append(cands, tp{idx: k.Index, prob: p})
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].prob != cands[j].prob {
-				return cands[i].prob > cands[j].prob
+		// idx is unique within a library, so (prob desc, idx) is a total
+		// order and the unstable sort is safe.
+		slices.SortFunc(cands, func(a, b tp) int {
+			if a.prob != b.prob {
+				return cmp.Compare(b.prob, a.prob)
 			}
-			return cands[i].idx < cands[j].idx
+			return cmp.Compare(a.idx, b.idx)
 		})
 		mounts[lib] = make([]int, hw.DrivesPerLib)
 		pinned[lib] = make([]bool, hw.DrivesPerLib)
@@ -262,13 +357,13 @@ func densityOrder(w *model.Workload, probs []float64) []model.ObjectID {
 	for i := range ids {
 		ids[i] = model.ObjectID(i)
 	}
-	sort.SliceStable(ids, func(a, b int) bool {
-		da := probs[ids[a]] / float64(w.Objects[ids[a]].Size)
-		db := probs[ids[b]] / float64(w.Objects[ids[b]].Size)
+	sortSliceStable(ids, func(a, b model.ObjectID) bool {
+		da := probs[a] / float64(w.Objects[a].Size)
+		db := probs[b] / float64(w.Objects[b].Size)
 		if da != db {
 			return da > db
 		}
-		return ids[a] < ids[b]
+		return a < b
 	})
 	return ids
 }
@@ -280,11 +375,11 @@ func probOrder(w *model.Workload, probs []float64) []model.ObjectID {
 	for i := range ids {
 		ids[i] = model.ObjectID(i)
 	}
-	sort.SliceStable(ids, func(a, b int) bool {
-		if probs[ids[a]] != probs[ids[b]] {
-			return probs[ids[a]] > probs[ids[b]]
+	sortSliceStable(ids, func(a, b model.ObjectID) bool {
+		if probs[a] != probs[b] {
+			return probs[a] > probs[b]
 		}
-		return ids[a] < ids[b]
+		return a < b
 	})
 	return ids
 }

@@ -29,7 +29,7 @@ func (s RoundRobin) Place(w *model.Workload, hw tape.Hardware) (*Result, error) 
 	if err := checkFits(w, hw, k); err != nil {
 		return nil, err
 	}
-	b := newBuilder(w, hw)
+	b := newBuilder(w, hw, w.ObjectProbs())
 	kCap := int64(float64(hw.Capacity) * k)
 	// Estimate the stripe width from the bytes that must land on each
 	// cartridge, then deal objects across exactly that many cartridges.

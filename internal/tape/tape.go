@@ -11,6 +11,7 @@
 package tape
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"slices"
@@ -165,6 +166,13 @@ type Layout struct {
 // NewLayout returns an empty layout for the cartridge k.
 func NewLayout(k Key) *Layout { return &Layout{key: k} }
 
+// NewLayoutWithCapacity returns an empty layout for the cartridge k sized
+// for n appends, so callers that know the object count up front (the
+// placement builder) avoid the append-growth reallocations.
+func NewLayoutWithCapacity(k Key, n int) *Layout {
+	return &Layout{key: k, extents: make([]Extent, 0, n)}
+}
+
 // Key returns the cartridge identity.
 func (l *Layout) Key() Key { return l.key }
 
@@ -253,7 +261,8 @@ func PlanReads(h Hardware, start int64, extents []Extent) ReadPlan {
 	}
 	sorted := make([]Extent, len(extents))
 	copy(sorted, extents)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	// Starts are unique on one tape, so the unstable sort is deterministic.
+	slices.SortFunc(sorted, func(a, b Extent) int { return cmp.Compare(a.Start, b.Start) })
 
 	eval := func(order []Extent) ReadPlan {
 		pos := start

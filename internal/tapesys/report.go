@@ -3,7 +3,7 @@ package tapesys
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"paralleltape/internal/sim"
 	"paralleltape/internal/trace"
@@ -119,11 +119,13 @@ func (s *System) WriteUtilization(w io.Writer) error {
 		return err
 	}
 	drives := s.DriveReport()
-	sort.Slice(drives, func(i, j int) bool {
-		if drives[i].Library != drives[j].Library {
-			return drives[i].Library < drives[j].Library
+	// One line per drive: (Library, Drive) is a total order, so the
+	// unstable slices.SortFunc is deterministic.
+	slices.SortFunc(drives, func(a, b DriveStats) int {
+		if a.Library != b.Library {
+			return a.Library - b.Library
 		}
-		return drives[i].Drive < drives[j].Drive
+		return a.Drive - b.Drive
 	})
 	for _, d := range drives {
 		busyPct, switchPct := 0.0, 0.0
