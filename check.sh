@@ -2,9 +2,9 @@
 # check.sh — the repository's verification gate (same steps as `make check`):
 # build everything, vet everything, run the full test suite under the race
 # detector, and run the doc lints (every exported identifier in
-# internal/trace, internal/faults, and internal/spans must carry a doc
-# comment, plus a package-level comment; see the doclint_test.go in each
-# package).
+# internal/trace, internal/faults, internal/spans, and the internal/sim
+# kernel must carry a doc comment, plus a package-level comment; see the
+# doclint_test.go in each package).
 set -eu
 
 echo "== go build ./..."
@@ -16,7 +16,7 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== doc lint (internal/trace + internal/faults + internal/spans exported identifiers)"
-go test ./internal/trace ./internal/faults ./internal/spans -run TestExportedIdentifiersHaveDocComments -count=1
+echo "== doc lint (internal/trace + internal/faults + internal/spans + internal/sim exported identifiers)"
+go test ./internal/trace ./internal/faults ./internal/spans ./internal/sim -run TestExportedIdentifiersHaveDocComments -count=1
 
 echo "check: OK"

@@ -149,9 +149,10 @@ func setBenchtime(v string) error {
 // cost, placement-cluster / placement-organpipe / placement-loadbalance
 // isolate the pipeline's three stages (§5.1 clustering, §5.3 step 6
 // alignment, §5.4 balancing), and engine-schedule / engine-schedule-skewed
-// isolate the event-queue kernel (uniform and near/far-mixed deadlines;
-// both mirror the benchmarks in internal/sim and must stay at zero
-// allocs/op).
+// / engine-schedule-churn isolate the event-queue kernel (uniform deadlines,
+// a near/far mix, and a standing population migrating through the ladder
+// queue's tiers; all mirror the benchmarks in internal/sim and must stay at
+// zero allocs/op).
 func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, error) {
 	w, err := paralleltape.GenerateWorkload(benchParams(cfg), cfg.Seed)
 	if err != nil {
@@ -276,6 +277,23 @@ func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, e
 		}
 		eng.Run()
 	}
+	engScheduleChurn := func(b *testing.B) {
+		eng := sim.NewEngine()
+		fn := func() {}
+		far := [...]float64{30000, 1200, 90000, 400, 7000, 250000, 2600, 45000}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Schedule(float64(i%13)*0.25, fn)
+			eng.Schedule(far[i%len(far)], fn)
+			if i%64 == 63 {
+				eng.RunUntil(eng.Now() + 30)
+			}
+			if i%1024 == 1023 {
+				eng.RunUntil(eng.Now() + 100000)
+			}
+		}
+		eng.Run()
+	}
 
 	var out []benchMeasurement
 	for _, bench := range []struct {
@@ -293,6 +311,7 @@ func measureBenchmarks(cfg paralleltape.ExperimentConfig) ([]benchMeasurement, e
 		{"placement-loadbalance", "1s", balanceStage},
 		{"engine-schedule", "1s", engSchedule},
 		{"engine-schedule-skewed", "1s", engScheduleSkewed},
+		{"engine-schedule-churn", "1s", engScheduleChurn},
 	} {
 		if err := setBenchtime(bench.benchtime); err != nil {
 			return nil, err

@@ -159,62 +159,177 @@ type Grouper struct {
 	c      *Catalog
 	groups []TapeGroup
 	counts []int
-	gidx   []int32 // per-object group index, avoids a second map lookup
-	idx    map[tape.Key]int32
+	gidx   []int32       // per-object group index, avoids a second map lookup
+	exts   []tape.Extent // per-object extent, avoids a second catalog lookup
 	arena  []tape.Extent
+	keys   []uint64    // packed (slot, group index) sort keys
+	sorted []TapeGroup // key-ordered permutation of groups, the returned slice
+
+	// Dense cartridge→group index, replacing the map the old Grouper
+	// hashed on every object: a cartridge key flattens to
+	// Library·tapesPer + Index, slot holds its group index for the current
+	// request, and stamp says which request (generation) the slot belongs
+	// to — bumping gen invalidates the whole table in O(1), so there is no
+	// per-request clear and no hashing on the Submit hot path.
+	slots    []int32
+	stamp    []uint32
+	gen      uint32
+	tapesPer int
 }
 
 // NewGrouper returns a Grouper over c.
 func NewGrouper(c *Catalog) *Grouper {
-	return &Grouper{c: c, idx: make(map[tape.Key]int32)}
+	maxLib, maxIdx := 0, 0
+	for k := range c.layouts {
+		if k.Library >= maxLib {
+			maxLib = k.Library + 1
+		}
+		if k.Index >= maxIdx {
+			maxIdx = k.Index + 1
+		}
+	}
+	n := maxLib * maxIdx
+	return &Grouper{
+		c:        c,
+		slots:    make([]int32, n),
+		stamp:    make([]uint32, n),
+		tapesPer: maxIdx,
+	}
 }
 
 // Group is GroupRequest with scratch reuse; see the Grouper doc comment for
 // the aliasing contract.
 func (gr *Grouper) Group(r *model.Request) ([]TapeGroup, error) {
 	c := gr.c
-	clear(gr.idx)
+	gr.gen++
+	if gr.gen == 0 { // generation counter wrapped: really clear once
+		clear(gr.stamp)
+		gr.gen = 1
+	}
+	gen, slots, stamp := gr.gen, gr.slots, gr.stamp
 	groups := gr.groups[:0]
 	counts := gr.counts[:0]
 	gidx := gr.gidx[:0]
+	exts := gr.exts[:0]
 	for _, id := range r.Objects {
-		loc, ok := c.Lookup(id)
-		if !ok {
-			gr.groups, gr.counts, gr.gidx = groups, counts, gidx
+		// Inlined Catalog.Lookup, by pointer: copying the Location struct per
+		// object is measurable at Submit-hot-path call rates.
+		if uint(int(id)) >= uint(len(c.locs)) || !c.present[id] {
+			gr.groups, gr.counts, gr.gidx, gr.exts = groups, counts, gidx, exts
 			return nil, fmt.Errorf("catalog: request %d needs unplaced object %d", r.ID, id)
 		}
-		gi, seen := gr.idx[loc.Tape]
-		if !seen {
+		loc := &c.locs[id]
+		// Every placed object's key came from a registered layout, so the
+		// flattened slot is always in range.
+		slot := loc.Tape.Library*gr.tapesPer + loc.Tape.Index
+		var gi int32
+		if stamp[slot] == gen {
+			gi = slots[slot]
+		} else {
 			gi = int32(len(groups))
-			gr.idx[loc.Tape] = gi
+			stamp[slot] = gen
+			slots[slot] = gi
 			groups = append(groups, TapeGroup{Tape: loc.Tape})
 			counts = append(counts, 0)
 		}
 		counts[gi]++
 		groups[gi].Bytes += loc.Extent.Size
 		gidx = append(gidx, gi)
+		exts = append(exts, loc.Extent)
 	}
-	// Carve per-group extent slices out of the shared arena. Three-index
-	// slicing caps each group at its exact count, so the appends below can
-	// never spill into a neighbour.
+	// Carve per-group extent slices out of the shared arena at their final
+	// lengths, then scatter the extents through per-group write cursors
+	// (counts doubles as the cursor array) — direct indexed stores instead of
+	// a slice-header read-modify-write per extent.
 	if cap(gr.arena) < len(r.Objects) {
 		gr.arena = make([]tape.Extent, 0, len(r.Objects))
 	}
 	arena := gr.arena[:0]
 	off := 0
 	for gi := range groups {
-		groups[gi].Extents = arena[off : off : off+counts[gi]]
-		off += counts[gi]
+		n := counts[gi]
+		groups[gi].Extents = arena[off : off+n : off+n]
+		counts[gi] = off
+		off += n
 	}
-	for i, id := range r.Objects {
-		loc, _ := c.Lookup(id)
-		g := &groups[gidx[i]]
-		g.Extents = append(g.Extents, loc.Extent)
+	arena = arena[:off]
+	for i := range exts {
+		gi := gidx[i]
+		arena[counts[gi]] = exts[i]
+		counts[gi]++
 	}
 	for gi := range groups {
-		// Starts are unique per cartridge, so the unstable sort yields the
+		// Starts are unique per cartridge, so any correct sort yields the
 		// same order GroupRequest's sort.Slice did.
-		slices.SortFunc(groups[gi].Extents, func(a, b tape.Extent) int {
+		sortExtentsByStart(groups[gi].Extents)
+	}
+	out := gr.sortGroups(groups)
+	gr.groups, gr.counts, gr.gidx, gr.exts, gr.arena = groups, counts, gidx, exts, arena
+	return out, nil
+}
+
+// sortGroups returns the groups ordered by (library, index). The flattened
+// slot — library·tapesPer + index — preserves that lexicographic order, so
+// sorting packed slot<<32|group-index words and permuting once moves 8-byte
+// keys instead of shuffling 48-byte TapeGroup structs; cartridge keys are
+// unique within a request, so every correct sort agrees on the result. The
+// returned slice is Grouper-owned scratch, like everything else Group hands
+// out.
+func (gr *Grouper) sortGroups(groups []TapeGroup) []TapeGroup {
+	n := len(groups)
+	if n <= 1 {
+		return groups
+	}
+	keys := gr.keys[:0]
+	for gi := range groups {
+		k := groups[gi].Tape
+		keys = append(keys, uint64(k.Library*gr.tapesPer+k.Index)<<32|uint64(gi))
+	}
+	gr.keys = keys
+	if n <= 32 {
+		for i := 1; i < n; i++ {
+			k := keys[i]
+			j := i - 1
+			for j >= 0 && keys[j] > k {
+				keys[j+1] = keys[j]
+				j--
+			}
+			keys[j+1] = k
+		}
+	} else {
+		slices.Sort(keys) // slots are unique, so the packed words are too
+	}
+	if cap(gr.sorted) < n {
+		gr.sorted = make([]TapeGroup, 0, max(n, 2*cap(gr.sorted)))
+	}
+	out := gr.sorted[:n]
+	for i, k := range keys {
+		out[i] = groups[uint32(k)]
+	}
+	return out
+}
+
+// sortExtentsByStart orders extents by ascending start. Starts are unique on
+// one cartridge, so the order is a total order and every correct sort agrees
+// on it; the direct insertion sort avoids the generic sort machinery (and
+// its per-compare closure calls) for the small, nearly-sorted groups the
+// Submit hot path produces, falling back to the library sort for large ones.
+func sortExtentsByStart(s []tape.Extent) {
+	// Groups assemble in object order, which placement schemes lay out along
+	// the tape, so most groups arrive already sorted: confirm with a
+	// read-only scan before dirtying any cache lines.
+	sortedAlready := true
+	for i := 1; i < len(s); i++ {
+		if s[i].Start < s[i-1].Start {
+			sortedAlready = false
+			break
+		}
+	}
+	if sortedAlready {
+		return
+	}
+	if len(s) > 32 {
+		slices.SortFunc(s, func(a, b tape.Extent) int {
 			if a.Start < b.Start {
 				return -1
 			}
@@ -223,15 +338,17 @@ func (gr *Grouper) Group(r *model.Request) ([]TapeGroup, error) {
 			}
 			return 0
 		})
+		return
 	}
-	slices.SortFunc(groups, func(a, b TapeGroup) int {
-		if a.Tape.Library != b.Tape.Library {
-			return a.Tape.Library - b.Tape.Library
+	for i := 1; i < len(s); i++ {
+		e := s[i]
+		j := i - 1
+		for j >= 0 && s[j].Start > e.Start {
+			s[j+1] = s[j]
+			j--
 		}
-		return a.Tape.Index - b.Tape.Index
-	})
-	gr.groups, gr.counts, gr.gidx, gr.arena = groups, counts, gidx, arena
-	return groups, nil
+		s[j+1] = e
+	}
 }
 
 // Validate checks that the catalog covers the workload completely and that

@@ -1,0 +1,84 @@
+package sim
+
+// The simulation kernel is the contract every subsystem schedules through
+// (docs/ARCHITECTURE.md "Determinism"), so every exported identifier in
+// this package must carry a doc comment. This test is the lint backing the
+// check.sh / `make check` target, mirroring the ones in internal/trace,
+// internal/faults, and internal/spans.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+func TestExportedIdentifiersHaveDocComments(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for fname, file := range pkg.Files {
+			if file.Doc == nil && strings.HasSuffix(fname, "engine.go") {
+				t.Errorf("%s: package sim has no package-level doc comment", fname)
+			}
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						t.Errorf("%s: exported %s %s has no doc comment",
+							fset.Position(d.Pos()), declKind(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(t, fset, d)
+				}
+			}
+		}
+	}
+}
+
+// declKind labels a FuncDecl as function or method for the error message.
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// lintGenDecl checks exported names in a var/const/type declaration. A doc
+// comment on the enclosing decl covers all specs; otherwise each exported
+// spec needs its own.
+func lintGenDecl(t *testing.T, fset *token.FileSet, d *ast.GenDecl) {
+	t.Helper()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				t.Errorf("%s: exported type %s has no doc comment", fset.Position(s.Pos()), s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				for _, f := range st.Fields.List {
+					for _, n := range f.Names {
+						if n.IsExported() && f.Doc == nil && f.Comment == nil {
+							t.Errorf("%s: exported field %s.%s has no doc comment",
+								fset.Position(n.Pos()), s.Name.Name, n.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					t.Errorf("%s: exported %s %s has no doc comment",
+						fset.Position(n.Pos()), d.Tok, n.Name)
+				}
+			}
+		}
+	}
+}

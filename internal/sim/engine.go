@@ -15,10 +15,18 @@
 // simulation single-threaded and reproducible; parallelism is applied one
 // level up, across independent simulation runs (see internal/experiments).
 //
+// Continuations are typed: an event carries an Op (a continuation record
+// with a jump-table Run method) plus a stage tag, and pooled records
+// schedule themselves through ScheduleOp without capturing a closure; plain
+// func() callbacks remain first-class through Schedule (see op.go). The
+// pending set is a ladder queue — a sorted near-future tier, lazily sorted
+// far-future rungs, and a 4-ary heap fallback (see queue.go) — whose pop
+// order is the (at, seq) total order, independent of queue shape.
+//
 // The kernel is also allocation-free in steady state (see
-// docs/PERFORMANCE.md): the event queue is a concrete-typed heap over a
-// reusable backing array, so Schedule/dispatch cost no allocations once the
-// array has grown to the run's high-water mark.
+// docs/PERFORMANCE.md): every queue tier reuses its backing array, so
+// Schedule/dispatch cost no allocations once the tiers have grown to the
+// run's high-water mark.
 package sim
 
 import (
@@ -31,101 +39,11 @@ import (
 // Time is a simulated instant in seconds from the start of the run.
 type Time = float64
 
-// event is one pending callback.
-type event struct {
-	at  Time
-	seq uint64 // tie-break so equal-time events fire in schedule order
-	fn  func()
-}
-
-// before reports whether e fires before o under the (at, seq) contract.
-func (e *event) before(o *event) bool {
-	if e.at != o.at {
-		return e.at < o.at
-	}
-	return e.seq < o.seq
-}
-
-// eventQueue is a concrete-typed 4-ary min-heap ordered by (at, seq) over a
-// reusable backing array. A 4-ary layout halves the tree depth of a binary
-// heap and keeps sibling comparisons within one or two cache lines, and the
-// concrete element type avoids the interface{} boxing container/heap forces
-// on every Push/Pop — the old queue allocated twice per event for boxing
-// alone. seq is unique, so the order is total and independent of heap shape.
-type eventQueue struct {
-	ev []event
-}
-
-func (q *eventQueue) len() int { return len(q.ev) }
-
-// push inserts an event, growing only when the backing array is full.
-func (q *eventQueue) push(e event) {
-	q.ev = append(q.ev, e)
-	// Sift up.
-	s := q.ev
-	i := len(s) - 1
-	for i > 0 {
-		p := (i - 1) / 4
-		if !s[i].before(&s[p]) {
-			break
-		}
-		s[i], s[p] = s[p], s[i]
-		i = p
-	}
-}
-
-// pop removes and returns the minimum event. The vacated tail slot is
-// zeroed so the popped callback (and everything it captured) becomes
-// collectible immediately rather than being pinned by the backing array.
-func (q *eventQueue) pop() event {
-	s := q.ev
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s[n] = event{} // release the fn so fired callbacks are collectible
-	s = s[:n]
-	q.ev = s
-	// Sift down.
-	i := 0
-	for {
-		c := 4*i + 1
-		if c >= n {
-			break
-		}
-		best := c
-		hi := c + 4
-		if hi > n {
-			hi = n
-		}
-		for j := c + 1; j < hi; j++ {
-			if s[j].before(&s[best]) {
-				best = j
-			}
-		}
-		if !s[best].before(&s[i]) {
-			break
-		}
-		s[i], s[best] = s[best], s[i]
-		i = best
-	}
-	return top
-}
-
-// reset empties the queue, zeroing occupied slots so pending callbacks are
-// collectible, while keeping the backing array for reuse.
-func (q *eventQueue) reset() {
-	s := q.ev
-	for i := range s {
-		s[i] = event{}
-	}
-	q.ev = s[:0]
-}
-
 // Engine is the simulation clock and event queue. The zero value is ready
 // to use at time 0.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   ladderQueue
 	seq     uint64
 	stepped uint64 // events executed, for diagnostics and runaway guards
 	limit   uint64 // optional max events (0 = unlimited)
@@ -136,9 +54,9 @@ type Engine struct {
 func NewEngine() *Engine { return &Engine{} }
 
 // Reset returns the engine to time 0 with an empty queue, retaining the
-// queue's backing array (and the recorder and event limit) so a sequence of
+// queue's backing arrays (and the recorder and event limit) so a sequence of
 // runs — e.g. the per-seed loop of one experiment point — reuses the
-// high-water-mark allocation instead of regrowing a fresh heap each time.
+// high-water-mark allocation instead of regrowing a fresh queue each time.
 func (e *Engine) Reset() {
 	e.queue.reset()
 	e.now = 0
@@ -152,8 +70,8 @@ func (e *Engine) Now() Time { return e.now }
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.stepped }
 
-// SetEventLimit installs a safety cap on the number of events Run will
-// execute; Run panics when it is exceeded. Zero disables the cap.
+// SetEventLimit installs a safety cap on the number of events Run (and
+// RunUntil) will execute; exceeding it panics. Zero disables the cap.
 func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
 
 // SetRecorder attaches a trace recorder. Components built on the engine
@@ -171,39 +89,69 @@ func (e *Engine) Recorder() trace.Recorder { return e.rec }
 // panics: in this simulator a negative latency is always a modelling bug
 // and silently clamping it would corrupt causality.
 func (e *Engine) Schedule(delay float64, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	e.ScheduleOp(delay, funcOp(fn), 0)
+}
+
+// ScheduleOp runs op.Run(tag) after delay simulated seconds. It is the
+// typed-continuation form of Schedule: a pooled record schedules itself
+// without capturing a closure. Delay validation matches Schedule.
+func (e *Engine) ScheduleOp(delay float64, op Op, tag uint8) {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: Schedule with invalid delay %v", delay))
 	}
-	e.At(e.now+delay, fn)
+	e.at(e.now+delay, op, tag)
 }
 
 // At runs fn at absolute time t, which must not be in the past.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now || math.IsNaN(t) {
-		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, e.now))
-	}
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
+	e.at(t, funcOp(fn), 0)
+}
+
+// AtOp runs op.Run(tag) at absolute time t, which must not be in the past.
+func (e *Engine) AtOp(t Time, op Op, tag uint8) {
+	if op == nil {
+		panic("sim: At with nil callback")
+	}
+	e.at(t, op, tag)
+}
+
+// at is the shared schedule core: validate the instant, assign the next
+// sequence number, and file the event. Every public schedule entry point
+// funnels here, so seq assignment order — and with it the (at, seq) pop
+// order — is identical no matter which API form a caller used.
+func (e *Engine) at(t Time, op Op, tag uint8) {
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, e.now))
+	}
 	e.seq++
-	e.queue.push(event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(event{at: t, key: e.seq<<8 | uint64(tag), op: op})
 }
 
 // Immediately runs fn at the current instant, after all callbacks already
 // scheduled for this instant.
 func (e *Engine) Immediately(fn func()) { e.Schedule(0, fn) }
 
+// ImmediatelyOp runs op.Run(tag) at the current instant, after all
+// callbacks already scheduled for this instant.
+func (e *Engine) ImmediatelyOp(op Op, tag uint8) { e.ScheduleOp(0, op, tag) }
+
 // Run executes events in time order until the queue is empty and returns
 // the final clock value.
 func (e *Engine) Run() Time {
-	for e.queue.len() > 0 {
+	for e.queue.size > 0 {
 		ev := e.queue.pop()
 		e.now = ev.at
 		e.stepped++
 		if e.limit > 0 && e.stepped > e.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.limit, e.now))
 		}
-		ev.fn()
+		ev.op.Run(ev.tag())
 	}
 	return e.now
 }
@@ -212,8 +160,8 @@ func (e *Engine) Run() Time {
 // queued, and advances the clock to min(deadline, last event time). It
 // returns true if the queue was drained.
 func (e *Engine) RunUntil(deadline Time) bool {
-	for e.queue.len() > 0 {
-		if e.queue.ev[0].at > deadline {
+	for e.queue.size > 0 {
+		if e.queue.minAt() > deadline {
 			e.now = deadline
 			return false
 		}
@@ -223,7 +171,7 @@ func (e *Engine) RunUntil(deadline Time) bool {
 		if e.limit > 0 && e.stepped > e.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.limit, e.now))
 		}
-		ev.fn()
+		ev.op.Run(ev.tag())
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -232,4 +180,4 @@ func (e *Engine) RunUntil(deadline Time) bool {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.len() }
+func (e *Engine) Pending() int { return e.queue.size }

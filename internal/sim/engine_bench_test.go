@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
@@ -41,6 +42,33 @@ func BenchmarkScheduleSkewed(b *testing.B) {
 	eng.Run()
 }
 
+// BenchmarkScheduleChurn keeps a standing population migrating between the
+// ladder's tiers: every op schedules a near event (sorted-bottom churn) and
+// a far event (rung/top population), then drains one event, so far events
+// continually migrate top → rung → bottom while near ones cut through the
+// cursor. This is the rung-refill stress the skewed benchmark's periodic
+// full drains do not produce; tracked as engine-schedule-churn.
+func BenchmarkScheduleChurn(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	far := [...]float64{30000, 1200, 90000, 400, 7000, 250000, 2600, 45000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(float64(i%13)*0.25, fn)
+		eng.Schedule(far[i%len(far)], fn)
+		if i%64 == 63 {
+			// Drain the near tier; far events stay standing in the rungs.
+			eng.RunUntil(eng.Now() + 30)
+		}
+		if i%1024 == 1023 {
+			// Advance deep enough to pull standing rungs through refill
+			// (all but the quarter-million-second stragglers).
+			eng.RunUntil(eng.Now() + 100000)
+		}
+	}
+	eng.Run()
+}
+
 // TestScheduleSteadyStateAllocs pins the kernel's allocation contract:
 // once the event queue's backing array has grown to the run's high-water
 // mark, Schedule plus dispatch allocate nothing.
@@ -61,6 +89,58 @@ func TestScheduleSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Schedule+dispatch steady state allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestScheduleSteadyStateAllocsLadder pins the allocation contract at the
+// ladder queue's structural high-water mark: a standing far-future
+// population large enough to have built rungs (and split the bottom) plus
+// near-future churn through the sorted tier and the cursor fast path. Once
+// every tier's arrays have grown, Schedule plus dispatch allocate nothing.
+func TestScheduleSteadyStateAllocsLadder(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	delays := [...]float64{0, 0.001, 1800, 0.01, 700, 0.1, 2400, 1, 300, 90000}
+	churn := func() {
+		for i := 0; i < 512; i++ {
+			eng.Schedule(delays[i%len(delays)], fn)
+			if i%128 == 127 {
+				eng.RunUntil(eng.Now() + 4000) // drain near, keep far standing
+			}
+		}
+		eng.RunUntil(eng.Now() + 200000) // drain through the rungs and top
+	}
+	churn() // grow every tier to its high-water mark
+	if allocs := testing.AllocsPerRun(20, churn); allocs != 0 {
+		t.Fatalf("ladder steady state allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestRungGrowthAllocBudget puts an explicit budget on first-contact rung
+// growth: draining a fresh far-future population through tiers that have
+// never grown may allocate (rung structs, bucket arrays, tier backing), but
+// within a fixed budget — and a second pass over recycled rungs must
+// allocate nothing.
+func TestRungGrowthAllocBudget(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	r := rand.New(rand.NewSource(1))
+	fill := func() {
+		for i := 0; i < 600; i++ {
+			eng.Schedule(r.Float64()*100000, fn)
+		}
+	}
+	allocs := testing.AllocsPerRun(1, func() { fill(); eng.Run() })
+	// One rung is 32 bucket slices plus the rung struct and pool/tier
+	// bookkeeping; a few levels may spawn while the population drains.
+	// 256 bounds the whole first-growth transient with slack for the
+	// testing harness itself, while still catching a per-event leak (600
+	// events would show up as ≥ 600).
+	if allocs > 256 {
+		t.Fatalf("first-contact rung growth allocates %.1f, budget 256", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { fill(); eng.Run() }); allocs != 0 {
+		t.Fatalf("recycled rungs allocate %.1f per run, want 0", allocs)
 	}
 }
 

@@ -153,6 +153,40 @@ func TestEngineEventLimit(t *testing.T) {
 	e.Run()
 }
 
+// TestEngineEventLimitRunUntil covers the runaway guard on the bounded
+// run loop, which checks the limit independently of Run.
+func TestEngineEventLimitRunUntil(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(10)
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("event limit did not panic in RunUntil")
+		}
+	}()
+	e.RunUntil(1e9)
+}
+
+// TestEngineRunUntilUnderLimit pins the guard's boundary: exactly limit
+// events is fine, and a bounded run that stops at its deadline leaves the
+// remaining events (and budget) intact.
+func TestEngineRunUntilUnderLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(3)
+	for i := 0; i < 3; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	e.Schedule(100, func() {})
+	if e.RunUntil(50) {
+		t.Error("RunUntil(50) reported a drained queue with an event at t=100")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+}
+
 func TestEngineSteps(t *testing.T) {
 	e := NewEngine()
 	for i := 0; i < 7; i++ {

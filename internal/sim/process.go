@@ -52,12 +52,16 @@ func (p *Proc) wake() {
 	<-p.yield
 }
 
+// Run implements Op: the process is its own wake-up event, so Sleep arms a
+// typed continuation instead of allocating a method-value closure per call.
+func (p *Proc) Run(uint8) { p.wake() }
+
 // Now returns the current simulated time.
 func (p *Proc) Now() Time { return p.eng.Now() }
 
 // Sleep suspends the process for d simulated seconds.
 func (p *Proc) Sleep(d float64) {
-	p.eng.Schedule(d, p.wake)
+	p.eng.ScheduleOp(d, p, 0)
 	p.block()
 }
 

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the scheduler-determinism contract structurally: (at, seq)
+// is a total order, so ANY correct min-queue yields the identical pop
+// sequence regardless of internal shape. The reference implementation below
+// is a verbatim copy of the 4-ary heap the engine used before the ladder
+// queue (event struct included), and the property test drives both through
+// randomized schedules — equal-time bursts, near/far mixes, zero-delay
+// storms, mid-stream reuse after reset — checking every pop agrees.
+
+// heapEvent is the pre-ladder event record, copied unchanged.
+type heapEvent struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	fn  func()
+}
+
+// before reports whether e fires before o under the (at, seq) contract.
+func (e *heapEvent) before(o *heapEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// refQueue is the pre-ladder concrete-typed 4-ary min-heap, copied
+// unchanged (modulo renames) from the old engine.
+type refQueue struct {
+	ev []heapEvent
+}
+
+func (q *refQueue) len() int { return len(q.ev) }
+
+// push inserts an event, growing only when the backing array is full.
+func (q *refQueue) push(e heapEvent) {
+	q.ev = append(q.ev, e)
+	// Sift up.
+	s := q.ev
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s[i].before(&s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event.
+func (q *refQueue) pop() heapEvent {
+	s := q.ev
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = heapEvent{} // release the fn so fired callbacks are collectible
+	s = s[:n]
+	q.ev = s
+	// Sift down.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if s[j].before(&s[best]) {
+				best = j
+			}
+		}
+		if !s[best].before(&s[i]) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
+}
+
+// reset empties the queue, keeping the backing array for reuse.
+func (q *refQueue) reset() {
+	s := q.ev
+	for i := range s {
+		s[i] = heapEvent{}
+	}
+	q.ev = s[:0]
+}
+
+// delayProfile generates the next scheduling delay for one workload shape.
+type delayProfile struct {
+	name string
+	next func(r *rand.Rand) float64
+}
+
+var delayProfiles = []delayProfile{
+	// Tight near-future traffic: the drain-between-requests steady state.
+	{"near", func(r *rand.Rand) float64 { return r.Float64() * 10 }},
+	// Near/far mix: most events soon, a long tail far out — the shape that
+	// builds rungs and a top tier and forces refills across tiers.
+	{"skewed", func(r *rand.Rand) float64 {
+		if r.Intn(4) == 0 {
+			return 1000 + r.Float64()*100000
+		}
+		return r.Float64()
+	}},
+	// Zero-delay storms: Immediately-style dispatch, maximal (at, seq)
+	// tie-breaking through the cursor fast path.
+	{"immediate", func(r *rand.Rand) float64 {
+		if r.Intn(3) == 0 {
+			return r.Float64() * 5
+		}
+		return 0
+	}},
+	// Coarse quantized times: many exactly-equal instants landing in the
+	// same bucket, driving bucket overflow into child rungs and, for big
+	// enough bursts, the unsplittable-bucket heap fallback.
+	{"quantized", func(r *rand.Rand) float64 { return float64(r.Intn(8)) * 2.5 }},
+}
+
+// TestLadderMatchesHeapOrder drives the ladder queue and the old 4-ary heap
+// through identical randomized push/pop schedules and requires bit-identical
+// pop order, including mid-stream reuse after reset.
+func TestLadderMatchesHeapOrder(t *testing.T) {
+	for _, prof := range delayProfiles {
+		t.Run(prof.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(20060815))
+			var lq ladderQueue
+			var ref refQueue
+			var seq uint64
+			now := Time(0) // last popped instant; pushes are never in the past
+			push := func(at Time) {
+				seq++
+				lq.push(event{at: at, key: seq << 8, op: funcOp(func() {})})
+				ref.push(heapEvent{at: at, seq: seq})
+			}
+			popBoth := func() {
+				want := ref.pop()
+				got := lq.pop()
+				if got.at != want.at || got.key>>8 != want.seq {
+					t.Fatalf("pop mismatch: ladder (at=%v seq=%d), heap (at=%v seq=%d)",
+						got.at, got.key>>8, want.at, want.seq)
+				}
+				now = want.at
+			}
+			for round := 0; round < 4; round++ {
+				for i := 0; i < 3000; i++ {
+					switch {
+					case ref.len() == 0 || r.Intn(3) != 0:
+						// Bursts share one instant to stress seq tie-breaks.
+						at := now + prof.next(r)
+						for n := r.Intn(4); n >= 0; n-- {
+							push(at)
+						}
+					default:
+						popBoth()
+					}
+					if lq.size != ref.len() {
+						t.Fatalf("size mismatch: ladder %d, heap %d", lq.size, ref.len())
+					}
+				}
+				// Drain half, then keep scheduling: pops interleaved with
+				// pushes move the bottom cursor mid-structure.
+				for ref.len() > 1500 {
+					popBoth()
+				}
+				if round == 1 {
+					// Mid-stream reuse: both queues reset with events still
+					// pending, as Engine.Reset does between replays.
+					lq.reset()
+					ref.reset()
+					now = 0
+				}
+			}
+			for ref.len() > 0 {
+				popBoth()
+			}
+			if lq.size != 0 {
+				t.Fatal("ladder not empty after drain")
+			}
+		})
+	}
+}
+
+// TestLadderOverflowPaths forces the structural overflow routes — bottom
+// split, rung spawn, and the unsplittable equal-time burst that must fall
+// back to the 4-ary heap tier instead of recursing — and checks pop order
+// against the reference throughout.
+func TestLadderOverflowPaths(t *testing.T) {
+	var lq ladderQueue
+	var ref refQueue
+	var seq uint64
+	push := func(at Time) {
+		seq++
+		lq.push(event{at: at, key: seq << 8, op: funcOp(func() {})})
+		ref.push(heapEvent{at: at, seq: seq})
+	}
+	popBoth := func() {
+		want := ref.pop()
+		got := lq.pop()
+		if got.at != want.at || got.key>>8 != want.seq {
+			t.Fatalf("pop mismatch: ladder (at=%v seq=%d), heap (at=%v seq=%d)",
+				got.at, got.key>>8, want.at, want.seq)
+		}
+	}
+	// A fresh burst beyond bottomCap triggers splitBottom; draining half of
+	// it forces refills from the split-off top, leaving a finite bottomLim.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		push(Time(r.Float64() * 1000))
+	}
+	for i := 0; i < 150; i++ {
+		popBoth()
+	}
+	// An equal-time burst far beyond spawnThreshold cannot be subdivided by
+	// time: no rung width separates its events, so it must reach the heap.
+	for i := 0; i < 4*spawnThreshold; i++ {
+		push(1e9)
+	}
+	// Clustered times over a huge range exercise rung spawning at depth.
+	for i := 0; i < 2000; i++ {
+		base := math.Ldexp(1, 11+r.Intn(29)) // cluster scales, 2^11..2^39
+		push(Time(base) + Time(r.Float64()))
+	}
+	if lq.size != ref.len() {
+		t.Fatalf("size mismatch: ladder %d, heap %d", lq.size, ref.len())
+	}
+	sawHeap, sawRung := false, false
+	for ref.len() > 0 {
+		popBoth()
+		sawHeap = sawHeap || lq.heap.len() > 0
+		sawRung = sawRung || len(lq.rungs) > 0
+	}
+	if lq.size != 0 || lq.heap.len() != 0 {
+		t.Fatal("ladder not empty after drain")
+	}
+	if !sawRung {
+		t.Error("schedule never built a rung; overflow coverage lost")
+	}
+	if !sawHeap {
+		t.Error("equal-time burst never reached the heap tier; fallback coverage lost")
+	}
+}

@@ -13,8 +13,8 @@ import "paralleltape/internal/trace"
 //
 // The grant path is allocation-free in steady state: the resource is
 // exclusive, so a single embedded Grant is recycled across ownership
-// periods, grants are dispatched through one cached engine callback, and
-// waiters queue in a reusable ring buffer.
+// periods, the resource schedules itself as the grant-dispatch Op (no
+// closure, no capture), and waiters queue in a reusable ring buffer.
 type Resource struct {
 	eng  *Engine
 	name string
@@ -28,13 +28,10 @@ type Resource struct {
 	count   int
 
 	// grant is the recycled ownership token (at most one holder exists at
-	// a time), next the waiter being dispatched, and dispatchFn the cached
-	// engine callback that performs the dispatch — creating it once in
-	// NewResource keeps Acquire/Release from allocating a closure per
-	// grant.
-	grant      Grant
-	next       waiter
-	dispatchFn func()
+	// a time) and next the waiter being dispatched; the dispatch event is
+	// the resource itself (Run), so arming it costs no allocation.
+	grant Grant
+	next  waiter
 
 	// accounting
 	acquisitions int
@@ -44,10 +41,26 @@ type Resource struct {
 	maxQueue     int
 }
 
-// waiter is one queued acquisition: the callback plus the request instant
+// Grantee receives ownership of a Resource. Pooled continuation records
+// implement it directly so queueing for a resource captures no closure;
+// plain func(*Grant) callbacks are adapted for free by Acquire (grantFunc
+// is pointer-shaped).
+type Grantee interface {
+	// Granted is invoked through the engine once the resource is owned by
+	// this waiter; the holder must eventually call g.Release exactly once.
+	Granted(g *Grant)
+}
+
+// grantFunc adapts a plain grant callback to Grantee without allocating.
+type grantFunc func(g *Grant)
+
+// Granted implements Grantee by calling the wrapped callback.
+func (f grantFunc) Granted(g *Grant) { f(g) }
+
+// waiter is one queued acquisition: the grantee plus the request instant
 // (for wait-time accounting).
 type waiter struct {
-	fn        func(g *Grant)
+	gr        Grantee
 	requested Time
 }
 
@@ -78,25 +91,24 @@ func NewResource(eng *Engine, name string) *Resource {
 	}
 	r := &Resource{eng: eng, name: name}
 	r.grant.r = r
-	r.dispatchFn = r.dispatch
 	return r
 }
 
 // Name returns the diagnostic name.
 func (r *Resource) Name() string { return r.name }
 
-// dispatch hands the recycled grant to the armed waiter. It runs as an
-// engine event: at most one dispatch is pending per resource at any
-// instant, because a new one is only scheduled by Release (which requires
-// the previous grant to have fired) or by an Acquire that found the
-// resource free.
-func (r *Resource) dispatch() {
+// Run implements Op: the resource is its own grant-dispatch event, handing
+// the recycled grant to the armed waiter. At most one dispatch is pending
+// per resource at any instant, because a new one is only scheduled by
+// Release (which requires the previous grant to have fired) or by an
+// Acquire that found the resource free.
+func (r *Resource) Run(uint8) {
 	w := r.next
 	r.next = waiter{}
 	r.waitTotal += r.eng.Now() - w.requested
 	r.emit(trace.KindResourceGrant, r.eng.Now()-w.requested, r.count)
 	r.grant.released = false
-	w.fn(&r.grant)
+	w.gr.Granted(&r.grant)
 }
 
 // enqueue appends a waiter to the ring, growing it when full.
@@ -114,7 +126,7 @@ func (r *Resource) enqueue(w waiter) {
 }
 
 // dequeue pops the oldest waiter; the vacated slot is zeroed so the
-// callback is collectible.
+// grantee is collectible.
 func (r *Resource) dequeue() waiter {
 	w := r.waiters[r.head]
 	r.waiters[r.head] = waiter{}
@@ -129,15 +141,25 @@ func (r *Resource) Acquire(fn func(g *Grant)) {
 	if fn == nil {
 		panic("sim: Acquire with nil callback")
 	}
+	r.AcquireOp(grantFunc(fn))
+}
+
+// AcquireOp is the typed-continuation form of Acquire: gr.Granted fires
+// (through the engine) once the resource is granted. A pooled record
+// queueing itself this way costs no allocation.
+func (r *Resource) AcquireOp(gr Grantee) {
+	if gr == nil {
+		panic("sim: Acquire with nil callback")
+	}
 	if !r.busy {
 		r.busy = true
 		r.busySince = r.eng.Now()
 		r.acquisitions++
-		r.next = waiter{fn: fn, requested: r.eng.Now()}
-		r.eng.Immediately(r.dispatchFn)
+		r.next = waiter{gr: gr, requested: r.eng.Now()}
+		r.eng.ImmediatelyOp(r, 0)
 		return
 	}
-	r.enqueue(waiter{fn: fn, requested: r.eng.Now()})
+	r.enqueue(waiter{gr: gr, requested: r.eng.Now()})
 	if r.count > r.maxQueue {
 		r.maxQueue = r.count
 	}
@@ -164,7 +186,7 @@ func (g *Grant) Release() {
 	r.next = r.dequeue()
 	r.busySince = r.eng.Now()
 	r.acquisitions++
-	r.eng.Immediately(r.dispatchFn)
+	r.eng.ImmediatelyOp(r, 0)
 }
 
 // Reset returns the resource to its initial idle state with zeroed
@@ -193,10 +215,10 @@ func (r *Resource) QueueLen() int { return r.count }
 
 // Stats summarizes utilization over the run so far.
 type ResourceStats struct {
-	Acquisitions int
+	Acquisitions int     // completed Acquire calls, queued or not
 	BusyTotal    float64 // total seconds held
 	WaitTotal    float64 // total seconds waiters spent queued
-	MaxQueue     int
+	MaxQueue     int     // high-water mark of the waiter queue
 }
 
 // Stats returns a snapshot of the resource accounting.
@@ -214,12 +236,13 @@ func (r *Resource) Stats() ResourceStats {
 }
 
 // Latch is a countdown latch: Done must be called Count times, after which
-// the completion callback fires. It detects "last drive finished serving
-// this request".
+// the completion continuation fires. It detects "last drive finished
+// serving this request".
 type Latch struct {
 	remaining int
 	fired     bool
-	onZero    func()
+	onZero    Op
+	zeroTag   uint8
 	eng       *Engine // optional, for trace emission only
 	name      string
 }
@@ -243,6 +266,7 @@ func (l *Latch) Reset(count int) {
 	l.remaining = count
 	l.fired = false
 	l.onZero = nil
+	l.zeroTag = 0
 }
 
 // Observe names the latch and attaches it to an engine so its completion
@@ -269,13 +293,24 @@ func (l *Latch) Add(n int) {
 // Wait arms the completion callback. If the count is already zero the
 // callback fires synchronously.
 func (l *Latch) Wait(fn func()) {
-	if l.onZero != nil {
-		panic("sim: Latch.Wait called twice")
-	}
 	if fn == nil {
 		panic("sim: Latch.Wait with nil callback")
 	}
-	l.onZero = fn
+	l.WaitOp(funcOp(fn), 0)
+}
+
+// WaitOp is the typed-continuation form of Wait: op.Run(tag) fires —
+// synchronously, in engine context — when the count reaches zero, which may
+// be during this call if it already has.
+func (l *Latch) WaitOp(op Op, tag uint8) {
+	if l.onZero != nil {
+		panic("sim: Latch.Wait called twice")
+	}
+	if op == nil {
+		panic("sim: Latch.Wait with nil callback")
+	}
+	l.onZero = op
+	l.zeroTag = tag
 	l.maybeFire()
 }
 
@@ -300,6 +335,6 @@ func (l *Latch) maybeFire() {
 				Lib: -1, Drive: -1, Tape: -1, Req: -1, Name: l.name,
 			})
 		}
-		l.onZero()
+		l.onZero.Run(l.zeroTag)
 	}
 }

@@ -319,26 +319,43 @@ type Planner struct {
 // Plan returns the same SeekTotal/XferTotal/EndPos as PlanReads(h, start,
 // extents) with Order left nil. The input slice is not modified.
 func (p *Planner) Plan(h Hardware, start int64, extents []Extent) ReadPlan {
+	return p.PlanRates(h.LocateRate(), h.TransferRate, start, extents)
+}
+
+// PlanRates is Plan with the two hardware-derived rates already in hand
+// (locate must be Hardware.LocateRate and rate the transfer rate, so the
+// result is bit-identical to Plan's). Per-event callers use it to avoid
+// copying the whole Hardware struct per call.
+func (p *Planner) PlanRates(locate, rate float64, start int64, extents []Extent) ReadPlan {
 	if len(extents) == 0 {
 		return ReadPlan{EndPos: start}
 	}
-	p.buf = append(p.buf[:0], extents...)
-	sorted := p.buf
-	slices.SortFunc(sorted, func(a, b Extent) int {
-		// Starts are unique on one cartridge, so the order is total.
-		if a.Start < b.Start {
-			return -1
+	// The simulator hands Plan extent groups the catalog already ordered by
+	// start, so check sortedness first: a sorted input is used in place —
+	// Plan never mutates it — skipping both the scratch copy and the sort.
+	sorted := extents
+	for i := 1; i < len(extents); i++ {
+		if extents[i].Start < extents[i-1].Start {
+			p.buf = append(p.buf[:0], extents...)
+			sorted = p.buf
+			slices.SortFunc(sorted, func(a, b Extent) int {
+				// Starts are unique on one cartridge, so the order is total.
+				if a.Start < b.Start {
+					return -1
+				}
+				if a.Start > b.Start {
+					return 1
+				}
+				return 0
+			})
+			break
 		}
-		if a.Start > b.Start {
-			return 1
-		}
-		return 0
-	})
+	}
 	// split is the first extent at or right of the head; see PlanReads for
 	// the two-sweep argument.
 	split := sort.Search(len(sorted), func(i int) bool { return sorted[i].Start >= start })
-	planA := evalSweep(h, start, sorted[split:], sorted[:split]) // right side first
-	planB := evalSweep(h, start, sorted[:split], sorted[split:]) // leftmost first
+	planA := evalSweep(locate, rate, start, sorted[split:], sorted[:split]) // right side first
+	planB := evalSweep(locate, rate, start, sorted[:split], sorted[split:]) // leftmost first
 	if planA.SeekTotal <= planB.SeekTotal {
 		return planA
 	}
@@ -346,21 +363,37 @@ func (p *Planner) Plan(h Hardware, start int64, extents []Extent) ReadPlan {
 }
 
 // evalSweep accumulates the cost of serving seg1 then seg2 in order,
-// mirroring PlanReads' eval loop exactly (same accumulation order, so the
-// floating-point results are bit-identical).
-func evalSweep(h Hardware, start int64, seg1, seg2 []Extent) ReadPlan {
+// mirroring PlanReads' eval loop exactly (same accumulation order and the
+// same divisors — locate must be Hardware.LocateRate and rate the transfer
+// rate — so the floating-point results are bit-identical). The rates come
+// in as scalars: SeekTime and TransferTime are value methods on the
+// many-field Hardware struct, and calling them per extent (or passing the
+// struct per sweep) copies the whole struct on the simulator's hottest path.
+func evalSweep(locate, rate float64, start int64, seg1, seg2 []Extent) ReadPlan {
 	pos := start
 	var seek, xfer float64
 	for i := range seg1 {
 		e := &seg1[i]
-		seek += h.SeekTime(pos, e.Start)
-		xfer += h.TransferTime(e.Size)
+		d := e.Start - pos
+		if d < 0 {
+			d = -d
+		}
+		seek += float64(d) / locate
+		if e.Size >= 0 {
+			xfer += float64(e.Size) / rate
+		}
 		pos = e.End()
 	}
 	for i := range seg2 {
 		e := &seg2[i]
-		seek += h.SeekTime(pos, e.Start)
-		xfer += h.TransferTime(e.Size)
+		d := e.Start - pos
+		if d < 0 {
+			d = -d
+		}
+		seek += float64(d) / locate
+		if e.Size >= 0 {
+			xfer += float64(e.Size) / rate
+		}
 		pos = e.End()
 	}
 	return ReadPlan{SeekTotal: seek, XferTotal: xfer, EndPos: pos}

@@ -39,6 +39,59 @@ type retryEntry struct {
 	attempts int
 }
 
+// retryOp is the pooled backoff continuation of one retried group: when the
+// backoff elapses it requeues the group and pumps the library. It is a
+// typed event (sim.Op), so arming a retry captures no closure; the pool
+// (shard.retryPool) makes even a fault storm allocation-free in steady
+// state.
+type retryOp struct {
+	sh  *shard
+	lib int
+	e   retryEntry
+}
+
+// Run implements sim.Op: the backoff elapsed — requeue and pump.
+func (op *retryOp) Run(uint8) {
+	sh, lib, e := op.sh, op.lib, op.e
+	op.e = retryEntry{}
+	sh.retryPool = append(sh.retryPool, op)
+	sh.sys.retryQ[lib] = append(sh.sys.retryQ[lib], e)
+	sh.pump(lib)
+}
+
+func (sh *shard) getRetryOp() *retryOp {
+	if n := len(sh.retryPool); n > 0 {
+		op := sh.retryPool[n-1]
+		sh.retryPool[n-1] = nil
+		sh.retryPool = sh.retryPool[:n-1]
+		return op
+	}
+	return &retryOp{sh: sh}
+}
+
+// repairWake is a library's embedded repair-wakeup continuation, armed by
+// stall when queued work would otherwise deadlock on a library with zero
+// alive drives. Embedding it in the library makes the one recovery event
+// the simulator may schedule a typed, allocation-free continuation.
+type repairWake struct {
+	l *library
+}
+
+// Run implements sim.Op: the earliest scheduled repair instant arrived —
+// return every due drive to service and pump the library.
+func (w *repairWake) Run(uint8) {
+	l := w.l
+	sh := l.sh
+	sh.sys.repairArmed[l.idx] = false
+	now := sh.eng.Now()
+	for _, d := range l.drives {
+		if d.failed && !d.manual && d.repairAt <= now {
+			sh.repairDrive(d)
+		}
+	}
+	sh.pump(l.idx)
+}
+
 // armServeFaults decides, at schedule time, whether the injector cuts the
 // service short, returning the (possibly truncated) span to schedule. A
 // media-error draw is consumed for every read so the media stream stays
@@ -153,7 +206,6 @@ func (sh *shard) observeDriveFailure(d *drive, repairAt float64, tapeCtx int, re
 // (modeling the repair crew clearing the transport), making the tape
 // mountable by other drives.
 func (sh *shard) evictMounted(d *drive) {
-	delete(sh.sys.libs[d.lib].byTape, d.mounted)
 	d.mounted = -1
 	d.headPos = 0
 }
@@ -183,11 +235,10 @@ func (sh *shard) retryGroup(g catalog.TapeGroup, attempts int, span int64) {
 	backoff := s.opts.RetryBackoff
 	sh.emit(trace.Event{Kind: trace.KindOpRetried, Lib: g.Tape.Library, Drive: -1,
 		Tape: g.Tape.Index, Req: s.curReq, Span: span, Bytes: g.Bytes, Dur: backoff, Queue: attempts + 1})
-	lib, next := g.Tape.Library, attempts+1
-	sh.eng.Schedule(backoff, func() {
-		s.retryQ[lib] = append(s.retryQ[lib], retryEntry{g: g, attempts: next})
-		sh.pump(lib)
-	})
+	op := sh.getRetryOp()
+	op.lib = g.Tape.Library
+	op.e = retryEntry{g: g, attempts: attempts + 1}
+	sh.eng.ScheduleOp(backoff, op, 0)
 }
 
 // pump dispatches a library's queued groups onto idle alive drives. If the
@@ -252,16 +303,7 @@ func (sh *shard) stall(lib int) {
 	if delay < 0 {
 		delay = 0
 	}
-	sh.eng.Schedule(delay, func() {
-		s.repairArmed[lib] = false
-		now := sh.eng.Now()
-		for _, d := range s.libs[lib].drives {
-			if d.failed && !d.manual && d.repairAt <= now {
-				sh.repairDrive(d)
-			}
-		}
-		sh.pump(lib)
-	})
+	sh.eng.ScheduleOp(delay, &s.libs[lib].repair, 0)
 }
 
 // repairDrive returns a failed drive to service mid-request.
@@ -298,7 +340,6 @@ func (s *System) sweepFaults(t0 float64) {
 				d.pinned = false
 				d.repairAt = until
 				if d.mounted >= 0 {
-					delete(l.byTape, d.mounted)
 					d.mounted = -1
 					d.headPos = 0
 				}

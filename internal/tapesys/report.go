@@ -180,7 +180,6 @@ func (s *System) FailDrive(library, drive int) error {
 	d.pinned = false
 	d.repairAt = 0
 	if d.mounted >= 0 && !d.busy {
-		delete(l.byTape, d.mounted)
 		d.mounted = -1
 		d.headPos = 0
 	}

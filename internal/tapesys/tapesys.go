@@ -136,8 +136,24 @@ type library struct {
 	sh     *shard // the shard whose engine runs this library's events
 	robot  *sim.Resource
 	drives []*drive
-	// byTape maps a mounted tape index to the drive holding it.
-	byTape map[int]*drive
+	// repair is the library's embedded repair-wakeup continuation
+	// (recovery.go): arming the one liveness-critical recovery event is a
+	// typed schedule with no closure capture.
+	repair repairWake
+}
+
+// driveWithTape returns the library drive that currently has tape index ti
+// mounted, or nil. The mount table is the drives themselves: d.mounted is
+// authoritative, and a library has only a handful of drives, so the linear
+// scan beats the map the library used to carry (no hashing on the Submit
+// hot path, no mount/unmount bookkeeping to keep in sync).
+func (l *library) driveWithTape(ti int) *drive {
+	for _, d := range l.drives {
+		if d.mounted == ti {
+			return d
+		}
+	}
+	return nil
 }
 
 // mountedService pairs a drive with the request group its mounted tape
@@ -167,7 +183,6 @@ type shard struct {
 	// Per-request scratch.
 	planner tape.Planner
 	latch   *sim.Latch
-	latchFn func()
 	reqDone bool
 	groups  int // tape groups of the current request owned by this shard
 	// switches counts this request's tape switches on this shard; merged
@@ -175,6 +190,7 @@ type shard struct {
 	switches   int
 	servePool  []*serveOp
 	switchPool []*switchOp
+	retryPool  []*retryOp
 
 	// Degraded-mode per-request counters (recovery.go), merged into
 	// RequestMetrics in fixed shard order at the join. All stay zero on a
@@ -193,6 +209,10 @@ type shard struct {
 	totalMediaErrors int
 }
 
+// Run implements sim.Op: the shard is its own latch-open continuation, so
+// arming the request latch (Submit) captures no closure.
+func (sh *shard) Run(uint8) { sh.reqDone = true }
+
 // emit stamps the event with the shard's clock and records it. The nil
 // check keeps the disabled path free of any tracing cost.
 func (sh *shard) emit(ev trace.Event) {
@@ -206,13 +226,17 @@ func (sh *shard) emit(ev trace.Event) {
 // System is a simulated parallel tape storage system. Create with New or
 // NewWithOptions, then Submit requests; state persists across submissions.
 type System struct {
-	hw     tape.Hardware
-	cat    *catalog.Catalog
-	prob   map[tape.Key]float64
-	libs   []*library
-	shards []*shard
-	opts   Options
-	rec    trace.Recorder // as attached by the caller (unwrapped)
+	hw tape.Hardware
+	// locateRate caches hw.LocateRate() so the per-group read-planning call
+	// passes two scalars instead of copying the Hardware struct (tape.Planner
+	// doc); same divisor, bit-identical plans.
+	locateRate float64
+	cat        *catalog.Catalog
+	prob       map[tape.Key]float64
+	libs       []*library
+	shards     []*shard
+	opts       Options
+	rec        trace.Recorder // as attached by the caller (unwrapped)
 
 	// inj is the fault injector (nil when Options.Faults is nil or
 	// injects nothing); deadline is the current request's timeout instant
@@ -261,9 +285,10 @@ func NewWithOptions(hw tape.Hardware, pl *placement.Result, opts Options) (*Syst
 		return nil, err
 	}
 	s := &System{
-		hw:       hw,
-		opts:     opts,
-		deadline: math.Inf(1),
+		hw:         hw,
+		locateRate: hw.LocateRate(),
+		opts:       opts,
+		deadline:   math.Inf(1),
 	}
 	if opts.Faults != nil && opts.Faults.Enabled() {
 		inj, err := faults.New(*opts.Faults, hw.Libraries, hw.DrivesPerLib, hw.TapesPerLib)
@@ -282,18 +307,17 @@ func NewWithOptions(hw tape.Hardware, pl *placement.Result, opts Options) (*Syst
 	for i := 0; i < nshards; i++ {
 		sh := &shard{sys: s, idx: i, eng: sim.NewEngine()}
 		sh.latch = sim.NewLatch(0).Observe(sh.eng, "request")
-		sh.latchFn = func() { sh.reqDone = true }
 		s.shards = append(s.shards, sh)
 	}
 	for lib := 0; lib < hw.Libraries; lib++ {
 		// Contiguous partition: shard i owns libraries [i·n/k, (i+1)·n/k).
 		sh := s.shards[lib*nshards/hw.Libraries]
 		l := &library{
-			idx:    lib,
-			sh:     sh,
-			robot:  sim.NewResource(sh.eng, fmt.Sprintf("robot-%d", lib)),
-			byTape: make(map[int]*drive),
+			idx:   lib,
+			sh:    sh,
+			robot: sim.NewResource(sh.eng, fmt.Sprintf("robot-%d", lib)),
 		}
+		l.repair.l = l
 		for d := 0; d < hw.DrivesPerLib; d++ {
 			dr := &drive{lib: lib, idx: d, gidx: lib*hw.DrivesPerLib + d, mounted: -1}
 			l.drives = append(l.drives, dr)
@@ -354,15 +378,15 @@ func (s *System) applyPlacement(pl *placement.Result) error {
 	s.prob = pl.TapeProb
 	s.grouper = catalog.NewGrouper(pl.Catalog)
 	for lib, l := range s.libs {
-		clear(l.byTape)
 		for d, dr := range l.drives {
 			*dr = drive{lib: lib, idx: d, gidx: dr.gidx,
 				mounted: pl.InitialMounts[lib][d], pinned: pl.Pinned[lib][d]}
 			if dr.mounted >= 0 {
-				if _, dup := l.byTape[dr.mounted]; dup {
-					return fmt.Errorf("tapesys: library %d tape %d mounted twice", lib, dr.mounted)
+				for _, prev := range l.drives[:d] {
+					if prev.mounted == dr.mounted {
+						return fmt.Errorf("tapesys: library %d tape %d mounted twice", lib, dr.mounted)
+					}
 				}
-				l.byTape[dr.mounted] = dr
 			}
 		}
 	}
@@ -459,15 +483,14 @@ type driveAcct struct {
 }
 
 // serveOp is the pooled continuation of one tape service: it carries the
-// drive, group, and plan from schedule time to completion time, and its fn
-// closure is created once per pool entry so scheduling a service performs
-// no allocation.
+// drive, group, and plan from schedule time to completion time, and it is
+// its own completion event (sim.Op), so scheduling a service captures no
+// closure and performs no allocation.
 type serveOp struct {
 	sh   *shard
 	d    *drive
 	g    catalog.TapeGroup
 	plan tape.ReadPlan
-	fn   func()
 	// span is the trace span ID of this service (drive.nextSpan), carried
 	// onto every event the op emits.
 	span int64
@@ -501,9 +524,7 @@ func (sh *shard) getServeOp() *serveOp {
 		sh.servePool = sh.servePool[:n-1]
 		return op
 	}
-	op := &serveOp{sh: sh}
-	op.fn = op.finish
-	return op
+	return &serveOp{sh: sh}
 }
 
 func (sh *shard) putServeOp(op *serveOp) {
@@ -512,6 +533,9 @@ func (sh *shard) putServeOp(op *serveOp) {
 	op.plan = tape.ReadPlan{}
 	sh.servePool = append(sh.servePool, op)
 }
+
+// Run implements sim.Op: a service has one stage, completion.
+func (op *serveOp) Run(uint8) { op.finish() }
 
 // finish is the service-completion event: account the seek/transfer work,
 // free the drive, and let it pick up pending switch work. Services the
@@ -544,10 +568,11 @@ func (op *serveOp) finish() {
 	sh.afterService(d)
 }
 
-// switchOp is the pooled continuation chain of one tape switch. Its four
-// stage closures (rewind done → robot granted → move done → load done) are
-// created once per pool entry; the op carries the drive/group state across
-// the stages.
+// switchOp is the pooled continuation chain of one tape switch. The op is
+// one sim.Op whose stage tags select the chain step (rewind done → robot
+// outage wait → move done → load done, see switchOp.Run) and one
+// sim.Grantee for the robot grant, so every stage transition schedules the
+// record itself — no closures, no captures, no allocation.
 type switchOp struct {
 	sh          *shard
 	d           *drive
@@ -563,13 +588,33 @@ type switchOp struct {
 	// (recovery.go); carried through to the serve so a retried group keeps
 	// its retry budget.
 	attempts int
-
-	afterPrepFn  func()
-	onGrantFn    func(*sim.Grant)
-	afterRobotFn func()
-	afterMoveFn  func()
-	afterLoadFn  func()
 }
+
+// Switch-chain stage tags: the event a switchOp schedules carries the tag
+// of the stage to run next, dispatched by switchOp.Run's jump table.
+const (
+	tagSwitchPrep  = iota // rewind+unload finished → queue for the robot
+	tagSwitchRobot        // robot outage waited out → start cell moves
+	tagSwitchMove         // cell moves finished → release arm, load+thread
+	tagSwitchLoad         // load+thread finished → mount and serve
+)
+
+// Run implements sim.Op, dispatching the switch chain's next stage.
+func (op *switchOp) Run(tag uint8) {
+	switch tag {
+	case tagSwitchPrep:
+		op.afterPrep()
+	case tagSwitchRobot:
+		op.afterRobot()
+	case tagSwitchMove:
+		op.afterMove()
+	case tagSwitchLoad:
+		op.afterLoad()
+	}
+}
+
+// Granted implements sim.Grantee: the robot arm is ours.
+func (op *switchOp) Granted(g *sim.Grant) { op.onGrant(g) }
 
 func (sh *shard) getSwitchOp() *switchOp {
 	if n := len(sh.switchPool); n > 0 {
@@ -578,13 +623,7 @@ func (sh *shard) getSwitchOp() *switchOp {
 		sh.switchPool = sh.switchPool[:n-1]
 		return op
 	}
-	op := &switchOp{sh: sh}
-	op.afterPrepFn = op.afterPrep
-	op.onGrantFn = op.onGrant
-	op.afterRobotFn = op.afterRobot
-	op.afterMoveFn = op.afterMove
-	op.afterLoadFn = op.afterLoad
-	return op
+	return &switchOp{sh: sh}
 }
 
 func (sh *shard) putSwitchOp(op *switchOp) {
@@ -605,10 +644,9 @@ func (op *switchOp) afterPrep() {
 	d, l := op.d, op.l
 	op.hadTape = d.mounted >= 0
 	if op.hadTape {
-		delete(l.byTape, d.mounted)
 		d.mounted = -1
 	}
-	l.robot.Acquire(op.onGrantFn)
+	l.robot.AcquireOp(op)
 }
 
 // onGrant runs holding the robot. If the arm is inside an injected outage
@@ -623,7 +661,7 @@ func (op *switchOp) onGrant(grant *sim.Grant) {
 		if down, until := s.inj.RobotDown(d.lib, now); down {
 			sh.emit(trace.Event{Kind: trace.KindRobotFailed, Lib: d.lib, Drive: d.idx,
 				Tape: op.g.Tape.Index, Req: s.curReq, Span: op.span, Dur: until - now})
-			sh.eng.Schedule(until-now, op.afterRobotFn)
+			sh.eng.ScheduleOp(until-now, op, tagSwitchRobot)
 			return
 		}
 	}
@@ -648,7 +686,7 @@ func (op *switchOp) moves() {
 	}
 	sh.emit(trace.Event{Kind: trace.KindRobot, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
 		Req: sh.sys.curReq, Span: op.span, Dur: move})
-	sh.eng.Schedule(move, op.afterMoveFn)
+	sh.eng.ScheduleOp(move, op, tagSwitchMove)
 }
 
 // afterMove runs when the robot finishes: release it and start load+thread.
@@ -661,7 +699,7 @@ func (op *switchOp) afterMove() {
 	}
 	sh.emit(trace.Event{Kind: trace.KindLoad, Lib: d.lib, Drive: d.idx, Tape: op.g.Tape.Index,
 		Req: sh.sys.curReq, Span: op.span, Dur: sh.sys.hw.LoadThread})
-	sh.eng.Schedule(sh.sys.hw.LoadThread, op.afterLoadFn)
+	sh.eng.ScheduleOp(sh.sys.hw.LoadThread, op, tagSwitchLoad)
 }
 
 // afterLoad completes the mount and serves the group.
@@ -669,14 +707,13 @@ func (op *switchOp) afterLoad() {
 	if op.abortIfDown() {
 		return
 	}
-	sh, d, l, g := op.sh, op.d, op.l, op.g
+	sh, d, g := op.sh, op.d, op.g
 	switchBegin, attempts, span := op.switchBegin, op.attempts, op.span
 	sh.putSwitchOp(op)
 	d.mounted = g.Tape.Index
 	d.headPos = 0
 	d.mounts++
 	d.switchSeconds += sh.eng.Now() - switchBegin
-	l.byTape[g.Tape.Index] = d
 	sh.emit(trace.Event{Kind: trace.KindMounted, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
 		Req: sh.sys.curReq, Span: span, Dur: sh.eng.Now() - switchBegin})
 	sh.serve(d, g, attempts)
@@ -691,7 +728,7 @@ func (sh *shard) serve(d *drive, g catalog.TapeGroup, attempts int) {
 	op := sh.getServeOp()
 	op.d = d
 	op.g = g
-	op.plan = sh.planner.Plan(sh.sys.hw, d.headPos, g.Extents)
+	op.plan = sh.planner.PlanRates(sh.sys.locateRate, sh.sys.hw.TransferRate, d.headPos, g.Extents)
 	op.mode = serveOK
 	op.start = sh.eng.Now()
 	op.attempts = attempts
@@ -709,7 +746,7 @@ func (sh *shard) serve(d *drive, g catalog.TapeGroup, attempts int) {
 		sh.emit(trace.Event{Kind: trace.KindTransfer, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
 			Req: sh.sys.curReq, Span: op.span, Bytes: g.Bytes, Dur: op.plan.XferTotal})
 	}
-	sh.eng.Schedule(span, op.fn)
+	sh.eng.ScheduleOp(span, op, 0)
 }
 
 // startSwitch begins the rewind → robot → load pipeline moving drive d to
@@ -735,7 +772,7 @@ func (sh *shard) startSwitch(d *drive, g catalog.TapeGroup, attempts int) {
 	// when the chain aborts before any other stage.
 	sh.emit(trace.Event{Kind: trace.KindRewind, Lib: d.lib, Drive: d.idx, Tape: d.mounted,
 		Req: sh.sys.curReq, Span: op.span, Dur: prep})
-	sh.eng.Schedule(prep, op.afterPrepFn)
+	sh.eng.ScheduleOp(prep, op, tagSwitchPrep)
 }
 
 // takePending pops the next offline group for a library. Only the shard
@@ -847,7 +884,7 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 		met.Bytes += g.Bytes
 		l := s.libs[g.Tape.Library]
 		l.sh.groups++
-		if d, ok := l.byTape[g.Tape.Index]; ok {
+		if d := l.driveWithTape(g.Tape.Index); d != nil {
 			mounted = append(mounted, mountedService{d: d, g: g})
 			mountedBytes += g.Bytes
 		} else {
@@ -932,7 +969,7 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	// quiescence. A latch armed at zero fires synchronously, so shards
 	// without work complete here.
 	for _, sh := range s.shards {
-		sh.latch.Wait(sh.latchFn)
+		sh.latch.WaitOp(sh, 0)
 	}
 	if len(s.shards) == 1 {
 		s.shards[0].eng.Run()
@@ -1071,8 +1108,10 @@ func (s *System) TotalSwitches() int {
 func (s *System) MountedTapes() [][]int {
 	out := make([][]int, len(s.libs))
 	for i, l := range s.libs {
-		for ti := range l.byTape {
-			out[i] = append(out[i], ti)
+		for _, d := range l.drives {
+			if d.mounted >= 0 {
+				out[i] = append(out[i], d.mounted)
+			}
 		}
 		slices.Sort(out[i])
 	}
