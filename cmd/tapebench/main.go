@@ -45,6 +45,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel run workers (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 0,
 			"engine shards per simulated system (0 = single engine; results are byte-identical for every value)")
+		pipeline = flag.Bool("pipeline", false,
+			"submit each run's requests through the plan-ahead pipeline (SubmitStream; results are byte-identical either way)")
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		chart       = flag.Bool("chart", false, "append a bandwidth bar chart to each exhibit")
 		jsonOut     = flag.String("json", "", "write a machine-readable benchmark-result document (schema tapebench/bench-result/v1) to this file (- for stdout)")
@@ -146,6 +148,7 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.Shards = *shards
+	cfg.Pipeline = *pipeline
 	if *faultsOn {
 		cfg.Faults = &paralleltape.FaultProfile{
 			Seed:              cfg.Seed ^ 0xFA17,

@@ -60,6 +60,53 @@ func TestRunFlagsVariants(t *testing.T) {
 	}
 }
 
+// captureStdout runs f with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return string(out)
+}
+
+// TestRunPipelineMatchesSubmit checks the -pipeline flag changes nothing
+// observable: the per-request CSV stream and session summary are
+// byte-identical with and without plan-ahead submission, sharded or not.
+func TestRunPipelineMatchesSubmit(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		plain := captureStdout(t, func() error {
+			return runSmall(t, "parallel-batch", func(o *options) {
+				o.csv = true
+				o.shards = shards
+			})
+		})
+		piped := captureStdout(t, func() error {
+			return runSmall(t, "parallel-batch", func(o *options) {
+				o.csv = true
+				o.shards = shards
+				o.pipeline = true
+			})
+		})
+		if plain != piped {
+			t.Errorf("shards=%d: -pipeline output diverges:\n--- plain ---\n%s--- pipeline ---\n%s",
+				shards, plain, piped)
+		}
+	}
+}
+
 func TestRunBadInputs(t *testing.T) {
 	if err := runSmall(t, "parallel-batch", func(o *options) { o.capacity = "12XB" }); err == nil {
 		t.Error("bad capacity accepted")

@@ -47,13 +47,15 @@ func TestSweepDeterminismAcrossShardsAndWorkers(t *testing.T) {
 	cfg.Seeds = 1
 	shardCounts := []int{1, 2, 4}
 	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	pipelines := []bool{false, true}
 	if raceEnabled {
 		// The race detector slows the sweep ~10x; one sharded+parallel
-		// combination against the serial baseline still crosses every
-		// goroutine boundary the full matrix does.
+		// pipelined combination against the serial baseline still crosses
+		// every goroutine boundary the full matrix does.
 		cfg.Requests = 4
 		shardCounts = []int{4}
 		workerCounts = []int{runtime.GOMAXPROCS(0)}
+		pipelines = []bool{true}
 	}
 
 	base := cfg
@@ -63,13 +65,16 @@ func TestSweepDeterminismAcrossShardsAndWorkers(t *testing.T) {
 
 	for _, shards := range shardCounts {
 		for _, workers := range workerCounts {
-			c := cfg
-			c.Shards = shards
-			c.Workers = workers
-			got := sweepJSON(t, c)
-			if !bytes.Equal(got, want) {
-				t.Errorf("sweep JSON diverges at shards=%d workers=%d (%d vs %d bytes)",
-					shards, workers, len(got), len(want))
+			for _, pipeline := range pipelines {
+				c := cfg
+				c.Shards = shards
+				c.Workers = workers
+				c.Pipeline = pipeline
+				got := sweepJSON(t, c)
+				if !bytes.Equal(got, want) {
+					t.Errorf("sweep JSON diverges at shards=%d workers=%d pipeline=%v (%d vs %d bytes)",
+						shards, workers, pipeline, len(got), len(want))
+				}
 			}
 		}
 	}

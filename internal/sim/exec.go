@@ -1,0 +1,218 @@
+package sim
+
+// exec.go is the persistent engine executor: a fixed set of long-lived
+// worker goroutines that run Engine event loops handed to them by a
+// single submitter, replacing a goroutine-per-run fork/join. The handoff
+// is an atomic epoch bump plus a spin-then-park protocol, so in steady
+// state a full dispatch/join cycle performs no heap allocation — the
+// property the sharded simulator's 0 allocs/op contract rests on
+// (docs/PERFORMANCE.md "Shard scaling").
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// parkSpin is how many epoch loads a parker burns before blocking on its
+// channel. The inter-request gap of the simulator's submit loop is a few
+// microseconds; this budget covers it on multi-core hosts, so consecutive
+// requests hand off without a futex round trip.
+const parkSpin = 4096
+
+// spinBudget returns the active spin budget: zero when the runtime owns a
+// single P — spinning there only steals the CPU the wake must come from —
+// and parkSpin otherwise.
+func spinBudget() int {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return 0
+	}
+	return parkSpin
+}
+
+// parker is a one-owner park/wake cell. One goroutine (the owner) blocks
+// in await; any other wakes it with wake. The protocol is the classic
+// flag-and-recheck handshake: the owner publishes parked=true and
+// re-reads the epoch before blocking, the waker bumps the epoch before
+// reading parked — with Go's sequentially consistent atomics every
+// interleaving either shows the waker parked=true (it deposits a token)
+// or shows the owner the new epoch (it never blocks). Stale tokens left
+// by wakes that raced a non-blocking exit are absorbed by the re-check
+// loop: every blocking path re-reads its condition after waking.
+type parker struct {
+	epoch  atomic.Uint32
+	parked atomic.Bool
+	ch     chan struct{}
+}
+
+// newParker returns a ready cell (token channel of capacity one).
+func newParker() parker {
+	return parker{ch: make(chan struct{}, 1)}
+}
+
+// wake advances the epoch and unparks the owner if it is (or is about to
+// be) blocked. The buffered non-blocking send makes wake safe to call
+// whether or not the owner is parked.
+func (p *parker) wake() {
+	p.epoch.Add(1)
+	if p.parked.Load() {
+		select {
+		case p.ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// await blocks until the epoch moves past seen, spinning before parking,
+// and returns the epoch observed.
+func (p *parker) await(seen uint32) uint32 {
+	for i := spinBudget(); i > 0; i-- {
+		if e := p.epoch.Load(); e != seen {
+			return e
+		}
+	}
+	for {
+		if e := p.epoch.Load(); e != seen {
+			return e
+		}
+		p.parked.Store(true)
+		if e := p.epoch.Load(); e != seen {
+			p.parked.Store(false)
+			return e
+		}
+		<-p.ch
+		p.parked.Store(false)
+	}
+}
+
+// poolWorker is one persistent executor goroutine's shared state: its
+// park cell and the engine slot the submitter hands work through. The
+// worker clears the slot before running the engine, so between runs a
+// parked worker references only pool-internal memory — never the engines
+// or the simulator that owns them — which keeps a dropped simulator
+// collectible (its GC cleanup can then close the pool).
+type poolWorker struct {
+	cell parker
+	eng  *Engine
+}
+
+// Pool runs engines on persistent worker goroutines. One goroutine per
+// worker is spawned at NewPool and lives until Close; Go hands an engine
+// to the next idle worker, Wait joins on the completion counter. The
+// intended shape is one request cycle at a time from a single submitter:
+//
+//	pool.Go(engA)        // dispatch up to len(workers) engines
+//	pool.Go(engB)
+//	inline.Run()         // the submitter runs one engine itself
+//	pool.Wait()          // join; all handed-off engines have quiesced
+//
+// Go and Wait must be called from one goroutine at a time, at most
+// Workers engines may be in flight between Waits, and Close must not
+// overlap an active cycle. In steady state a Go/Wait cycle allocates
+// nothing: the wake path is an atomic epoch bump, the park path a reused
+// channel token.
+type Pool struct {
+	workers []*poolWorker
+	// pending counts engines handed off and not yet quiesced; the worker
+	// that decrements it to zero wakes the submitter.
+	pending atomic.Int32
+	// done is the submitter's park cell for Wait.
+	done parker
+	// next is the round-robin dispatch cursor, reset by Wait.
+	next   int
+	closed atomic.Bool
+}
+
+// NewPool starts workers persistent executor goroutines and returns the
+// pool. workers must be positive.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		panic("sim: NewPool needs at least one worker")
+	}
+	p := &Pool{done: newParker()}
+	for i := 0; i < workers; i++ {
+		w := &poolWorker{cell: newParker()}
+		p.workers = append(p.workers, w)
+		go p.run(w)
+	}
+	return p
+}
+
+// Workers returns the number of persistent worker goroutines.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Go hands e to the next idle worker, which runs e.Run() concurrently
+// with the caller. At most Workers engines may be handed off between
+// Waits; Go panics past that (the caller owns the dispatch plan).
+func (p *Pool) Go(e *Engine) {
+	if p.next >= len(p.workers) {
+		panic("sim: Pool.Go exceeds the worker count; Wait first")
+	}
+	w := p.workers[p.next]
+	p.next++
+	p.pending.Add(1)
+	w.eng = e // published by the epoch bump in wake
+	w.cell.wake()
+}
+
+// Wait blocks until every engine handed off since the previous Wait has
+// run to quiescence, then resets the dispatch cursor. With nothing in
+// flight it returns immediately.
+func (p *Pool) Wait() {
+	for i := spinBudget(); i > 0; i-- {
+		if p.pending.Load() == 0 {
+			p.next = 0
+			return
+		}
+	}
+	for p.pending.Load() != 0 {
+		p.done.parked.Store(true)
+		if p.pending.Load() != 0 {
+			<-p.done.ch
+		}
+		p.done.parked.Store(false)
+	}
+	p.next = 0
+}
+
+// Close terminates the worker goroutines. It is idempotent and safe to
+// call from a finalizer; it must not overlap an active Go/Wait cycle.
+// After Close the pool must not be used again.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	for _, w := range p.workers {
+		w.cell.wake()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
+// run is one worker goroutine's loop: park until woken, exit if the pool
+// closed, otherwise take the engine out of the slot (clearing it, so a
+// parked worker roots no simulator state), run it, and report completion
+// — waking the submitter when this was the last outstanding engine.
+func (p *Pool) run(w *poolWorker) {
+	var seen uint32
+	for {
+		seen = w.cell.await(seen)
+		if p.closed.Load() {
+			return
+		}
+		e := w.eng
+		if e == nil {
+			continue // stale wake; nothing was handed off
+		}
+		w.eng = nil
+		e.Run()
+		if p.pending.Add(-1) == 0 {
+			if p.done.parked.Load() {
+				select {
+				case p.done.ch <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEngines checks the basic handoff: engines dispatched with Go
+// run to quiescence before Wait returns, across many request cycles.
+func TestPoolRunsEngines(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	engines := make([]*Engine, 3)
+	fired := make([]int, 3)
+	for i := range engines {
+		engines[i] = NewEngine()
+	}
+	for cycle := 0; cycle < 50; cycle++ {
+		for i, e := range engines {
+			i := i
+			e.Schedule(float64(i+1), func() { fired[i]++ })
+			p.Go(e)
+		}
+		p.Wait()
+		for i, e := range engines {
+			if fired[i] != cycle+1 {
+				t.Fatalf("cycle %d: engine %d fired %d events", cycle, i, fired[i])
+			}
+			if e.Pending() != 0 {
+				t.Fatalf("cycle %d: engine %d still has %d pending events after Wait", cycle, i, e.Pending())
+			}
+		}
+	}
+}
+
+// TestPoolWaitWithoutWork checks Wait is a no-op when nothing was
+// dispatched since the last join.
+func TestPoolWaitWithoutWork(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	done := make(chan struct{})
+	go func() {
+		p.Wait()
+		p.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait blocked with no engines in flight")
+	}
+}
+
+// TestPoolSteadyStateAllocs pins the executor's allocation contract: after
+// the first cycle warms the park/wake machinery, a full Go+Wait cycle
+// allocates nothing.
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	e1, e2 := NewEngine(), NewEngine()
+	var n atomic.Int64
+	tick := func() { n.Add(1) }
+	cycle := func() {
+		e1.Schedule(1, tick)
+		e2.Schedule(1, tick)
+		p.Go(e1)
+		p.Go(e2)
+		p.Wait()
+	}
+	for i := 0; i < 100; i++ {
+		cycle() // warm the engines' event arenas and the channel tokens
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs > 0 {
+		t.Fatalf("steady-state Go/Wait cycle allocates %.1f per request, want 0", allocs)
+	}
+	if n.Load() == 0 {
+		t.Fatal("no events ran")
+	}
+}
+
+// TestPoolGoPastWorkerCountPanics checks the dispatch-contract guard.
+func TestPoolGoPastWorkerCountPanics(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	p.Go(NewEngine())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Go before Wait did not panic")
+		}
+		p.Wait()
+	}()
+	p.Go(NewEngine())
+}
+
+// TestPoolCloseStopsWorkers checks Close terminates every worker
+// goroutine and is idempotent.
+func TestPoolCloseStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(4)
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", p.Workers())
+	}
+	e := NewEngine()
+	ran := false
+	e.Schedule(1, func() { ran = true })
+	p.Go(e)
+	p.Wait()
+	if !ran {
+		t.Fatal("engine did not run")
+	}
+	p.Close()
+	p.Close() // idempotent
+	if !p.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines still running after Close: %d > %d",
+				runtime.NumGoroutine(), before)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolConcurrentStress exercises the park/wake protocol under the race
+// detector: many short cycles across several workers, with engine work
+// touching shared-but-synchronized state.
+func TestPoolConcurrentStress(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	engines := []*Engine{NewEngine(), NewEngine(), NewEngine()}
+	var total atomic.Int64
+	for cycle := 0; cycle < 2000; cycle++ {
+		for _, e := range engines {
+			e.Schedule(0.5, func() { total.Add(1) })
+			p.Go(e)
+		}
+		p.Wait()
+	}
+	if got := total.Load(); got != 3*2000 {
+		t.Fatalf("ran %d events, want %d", got, 3*2000)
+	}
+}

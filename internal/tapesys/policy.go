@@ -5,7 +5,6 @@ import (
 	"math"
 	"slices"
 
-	"paralleltape/internal/catalog"
 	"paralleltape/internal/faults"
 )
 
@@ -151,31 +150,31 @@ func (o Options) Validate() error {
 // Every comparator is a total order (byte ties break on the unique slot
 // index), so the unstable slices.SortFunc — which, unlike sort.Slice,
 // allocates nothing — yields the same deterministic order.
-func sortPending(p []catalog.TapeGroup, order PendingOrder) {
+func sortPending(p []pendingGroup, order PendingOrder) {
 	switch order {
 	case SmallestFirst:
-		slices.SortFunc(p, func(a, b catalog.TapeGroup) int {
-			if a.Bytes != b.Bytes {
-				if a.Bytes < b.Bytes {
+		slices.SortFunc(p, func(a, b pendingGroup) int {
+			if a.g.Bytes != b.g.Bytes {
+				if a.g.Bytes < b.g.Bytes {
 					return -1
 				}
 				return 1
 			}
-			return a.Tape.Index - b.Tape.Index
+			return a.g.Tape.Index - b.g.Tape.Index
 		})
 	case SlotOrder:
-		slices.SortFunc(p, func(a, b catalog.TapeGroup) int {
-			return a.Tape.Index - b.Tape.Index
+		slices.SortFunc(p, func(a, b pendingGroup) int {
+			return a.g.Tape.Index - b.g.Tape.Index
 		})
 	default: // LargestFirst
-		slices.SortFunc(p, func(a, b catalog.TapeGroup) int {
-			if a.Bytes != b.Bytes {
-				if a.Bytes > b.Bytes {
+		slices.SortFunc(p, func(a, b pendingGroup) int {
+			if a.g.Bytes != b.g.Bytes {
+				if a.g.Bytes > b.g.Bytes {
 					return -1
 				}
 				return 1
 			}
-			return a.Tape.Index - b.Tape.Index
+			return a.g.Tape.Index - b.g.Tape.Index
 		})
 	}
 }

@@ -52,26 +52,26 @@ func TestNewWithOptionsRejectsBad(t *testing.T) {
 }
 
 func TestSortPendingOrders(t *testing.T) {
-	mk := func() []catalog.TapeGroup {
-		return []catalog.TapeGroup{
-			{Tape: tape.Key{Index: 3}, Bytes: 50},
-			{Tape: tape.Key{Index: 1}, Bytes: 200},
-			{Tape: tape.Key{Index: 2}, Bytes: 100},
+	mk := func() []pendingGroup {
+		return []pendingGroup{
+			{g: catalog.TapeGroup{Tape: tape.Key{Index: 3}, Bytes: 50}},
+			{g: catalog.TapeGroup{Tape: tape.Key{Index: 1}, Bytes: 200}},
+			{g: catalog.TapeGroup{Tape: tape.Key{Index: 2}, Bytes: 100}},
 		}
 	}
 	p := mk()
 	sortPending(p, LargestFirst)
-	if p[0].Bytes != 200 || p[2].Bytes != 50 {
+	if p[0].g.Bytes != 200 || p[2].g.Bytes != 50 {
 		t.Errorf("LargestFirst: %+v", p)
 	}
 	p = mk()
 	sortPending(p, SmallestFirst)
-	if p[0].Bytes != 50 || p[2].Bytes != 200 {
+	if p[0].g.Bytes != 50 || p[2].g.Bytes != 200 {
 		t.Errorf("SmallestFirst: %+v", p)
 	}
 	p = mk()
 	sortPending(p, SlotOrder)
-	if p[0].Tape.Index != 1 || p[2].Tape.Index != 3 {
+	if p[0].g.Tape.Index != 1 || p[2].g.Tape.Index != 3 {
 		t.Errorf("SlotOrder: %+v", p)
 	}
 }

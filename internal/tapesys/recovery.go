@@ -288,11 +288,11 @@ func (sh *shard) stall(lib int) {
 	}
 	if math.IsInf(earliest, 1) {
 		for {
-			g, _, ok := sh.takeQueued(lib)
+			pg, _, ok := sh.takeQueued(lib)
 			if !ok {
 				return
 			}
-			sh.failGroup(g)
+			sh.failGroup(pg.g)
 		}
 	}
 	if s.repairArmed[lib] {
@@ -359,16 +359,19 @@ func (sh *shard) hasQueued(lib int) bool {
 
 // takeQueued pops the next group for a library — retried groups first
 // (they have already waited out a backoff), then the request's pending
-// queue — along with its prior attempt count.
-func (sh *shard) takeQueued(lib int) (catalog.TapeGroup, int, bool) {
+// queue — along with its prior attempt count. Retried groups carry no
+// precomputed plan (the pipeline plans only the initial dispatch); their
+// serve plans from the live head position, which after a mount is
+// beginning-of-tape anyway, so the bits are identical.
+func (sh *shard) takeQueued(lib int) (pendingGroup, int, bool) {
 	s := sh.sys
 	if s.retryHead[lib] < len(s.retryQ[lib]) {
 		e := s.retryQ[lib][s.retryHead[lib]]
 		s.retryHead[lib]++
-		return e.g, e.attempts, true
+		return pendingGroup{g: e.g}, e.attempts, true
 	}
-	g, ok := sh.takePending(lib)
-	return g, 0, ok
+	pg, ok := sh.takePending(lib)
+	return pg, 0, ok
 }
 
 // maxRetries resolves the effective retry bound.

@@ -1,0 +1,232 @@
+package tapesys
+
+// stream.go is the plan-ahead request pipeline: SubmitStream overlaps the
+// CPU-side phase of request k+1 — catalog grouping and beginning-of-tape
+// read planning, which depend only on the placement, never on live
+// simulator state — with the event-driven phase of request k. The overlap
+// cannot change results: plans are pure functions of (placement, request),
+// tape.Planner.PlanRates is deterministic, and a precomputed plan is used
+// only where serve would have computed the identical plan live (head at
+// beginning-of-tape, see pendingGroup). Every floating-point reduction
+// still happens on the submit path in fixed library order.
+
+import (
+	"runtime"
+
+	"paralleltape/internal/catalog"
+	"paralleltape/internal/model"
+	"paralleltape/internal/sim"
+	"paralleltape/internal/tape"
+)
+
+// prepared is one plan-ahead buffer: the grouping and read-planning output
+// of a single request, produced by run either inline or on the planPipe
+// worker. Each buffer owns a private Grouper and Planner because both reuse
+// internal scratch — two buffers double-buffer so request k+1 preps while
+// request k's groups are still being consumed. A prepared deliberately
+// holds no *System pointer: the pipe worker retains its last job between
+// requests, and must not root the simulator (see sysCloser).
+type prepared struct {
+	grouper *catalog.Grouper
+	// cat identifies the placement the grouper was built over; Reset with a
+	// new placement invalidates the buffer (prep rebuilds it).
+	cat     *catalog.Catalog
+	planner tape.Planner
+	locate  float64 // hardware locate rate, for PlanRates
+	rate    float64 // hardware transfer rate, for PlanRates
+	req     *model.Request
+	groups  []catalog.TapeGroup
+	plans   []tape.ReadPlan // one beginning-of-tape plan per group
+	err     error
+}
+
+// run groups p.req and precomputes one beginning-of-tape read plan per
+// group. Safe to call on the pipe worker: it touches only p's own state.
+func (p *prepared) run() {
+	p.groups, p.err = p.grouper.Group(p.req)
+	if p.err != nil {
+		return
+	}
+	plans := p.plans[:0]
+	for _, g := range p.groups {
+		plans = append(plans, p.planner.PlanRates(p.locate, p.rate, 0, g.Extents))
+	}
+	p.plans = plans
+}
+
+// planPipe is the single pipeline worker: a goroutine that runs prepared
+// jobs handed to it, one in flight at a time. jobs and done are both
+// buffered so neither side blocks on rendezvous; close(jobs) terminates
+// the worker.
+type planPipe struct {
+	jobs chan *prepared
+	done chan struct{}
+}
+
+// run is the pipe worker loop.
+func (pp *planPipe) run() {
+	for p := range pp.jobs {
+		p.run()
+		pp.done <- struct{}{}
+	}
+}
+
+// prep returns plan-ahead buffer i, rebuilding it if the system was Reset
+// onto a different placement since the buffer was created.
+func (s *System) prep(i int) *prepared {
+	p := s.preps[i]
+	if p == nil || p.cat != s.cat {
+		p = &prepared{
+			cat:     s.cat,
+			grouper: catalog.NewGrouper(s.cat),
+			locate:  s.locateRate,
+			rate:    s.hw.TransferRate,
+		}
+		s.preps[i] = p
+	}
+	return p
+}
+
+// ensurePipe returns the pipeline worker, starting it on first use. It
+// returns nil — callers then prep inline, which is just as deterministic —
+// when the system is closed or the runtime owns a single CPU (overlap
+// there only adds handoff latency).
+func (s *System) ensurePipe() *planPipe {
+	if s.closed || runtime.GOMAXPROCS(0) == 1 {
+		return nil
+	}
+	if s.pipe == nil {
+		s.pipe = &planPipe{
+			jobs: make(chan *prepared, 1),
+			done: make(chan struct{}, 1),
+		}
+		go s.pipe.run()
+		s.armCleanup() // re-arm so the new worker is covered too
+	}
+	return s.pipe
+}
+
+// submitPrepared submits a prepped request, surfacing its prep error at
+// submit time so SubmitStream reports errors in the same order Submit
+// would.
+func (s *System) submitPrepared(p *prepared) (RequestMetrics, error) {
+	if p.err != nil {
+		return RequestMetrics{}, p.err
+	}
+	return s.submitGrouped(p.req, p.groups, p.plans)
+}
+
+// SubmitStream executes a stream of requests with plan-ahead pipelining:
+// while request k's event phase runs, request k+1 is grouped and
+// read-planned on a pipeline worker. next supplies requests and returns
+// nil to end the stream; fn, if non-nil, observes each request's metrics
+// in submission order and may stop the stream by returning an error.
+//
+// Results are byte-identical to calling Submit in a loop — the pipelined
+// phase is a pure function of the placement, and all simulated state and
+// floating-point reductions stay on the submitting goroutine — so traces,
+// metrics, and clocks match the sequential path exactly at every shard
+// count. next and fn are called from the submitting goroutine, never
+// concurrently. On error (from a request or from fn) the stream stops with
+// the pipeline quiesced; the system remains usable.
+func (s *System) SubmitStream(next func() *model.Request, fn func(RequestMetrics) error) error {
+	r := next()
+	if r == nil {
+		return nil
+	}
+	pipe := s.ensurePipe()
+	cur := s.prep(0)
+	cur.req = r
+	cur.run()
+	other := s.prep(1)
+	for {
+		nr := next()
+		inFlight := false
+		if nr != nil {
+			other.req = nr
+			if pipe != nil {
+				pipe.jobs <- other
+				inFlight = true
+			} else {
+				other.run()
+			}
+		}
+		m, err := s.submitPrepared(cur)
+		if inFlight {
+			// Join the prep before any return path: the buffers must never
+			// be touched while the worker owns one.
+			<-pipe.done
+		}
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(m); err != nil {
+				return err
+			}
+		}
+		if nr == nil {
+			return nil
+		}
+		cur, other = other, cur
+	}
+}
+
+// sysCloser bundles the background resources a System owns so the GC
+// cleanup can release them. It must never reference the System itself:
+// runtime.AddCleanup requires the cleanup argument not to root the
+// attached pointer (a System is full of child→parent cycles — shard.sys —
+// which is also why SetFinalizer cannot be used here: finalizers never run
+// for objects in reference cycles).
+type sysCloser struct {
+	exec *sim.Pool
+	pipe *planPipe
+}
+
+// release stops the executor workers and the pipeline worker. Neither
+// roots the System while idle (sim.Pool workers clear their engine slot
+// before parking; the pipe worker's retained job holds no System pointer),
+// so a dropped System becomes unreachable and this runs.
+func (c sysCloser) release() {
+	if c.exec != nil {
+		c.exec.Close()
+	}
+	if c.pipe != nil {
+		close(c.pipe.jobs)
+	}
+}
+
+// armCleanup (re)attaches the GC cleanup covering the system's current
+// background resources; called after the executor or the pipeline worker
+// is created.
+func (s *System) armCleanup() {
+	if s.cleanupSet {
+		s.cleanup.Stop()
+	}
+	s.cleanup = runtime.AddCleanup(s, sysCloser.release, sysCloser{exec: s.exec, pipe: s.pipe})
+	s.cleanupSet = true
+}
+
+// Close releases the system's background resources: the persistent shard
+// executor and the plan-ahead pipeline worker. It is idempotent and always
+// returns nil (the signature matches io.Closer for defer chains). A closed
+// system remains fully usable — Submit falls back to running busy shards
+// sequentially on the caller and SubmitStream preps inline, both
+// byte-identical to the parallel paths — so Close is safe to call as soon
+// as peak throughput is no longer needed. Systems that are simply dropped
+// without Close are cleaned up when the GC collects them, but an explicit
+// Close (or defer Close) releases the goroutines deterministically.
+func (s *System) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.cleanupSet {
+		s.cleanup.Stop()
+		s.cleanupSet = false
+	}
+	sysCloser{exec: s.exec, pipe: s.pipe}.release()
+	s.exec = nil
+	s.pipe = nil
+	return nil
+}

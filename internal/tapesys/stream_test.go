@@ -1,0 +1,276 @@
+package tapesys
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"paralleltape/internal/model"
+	"paralleltape/internal/placement"
+	"paralleltape/internal/rng"
+	"paralleltape/internal/workload"
+)
+
+// streamRun replays n requests through SubmitStream on a fresh system and
+// returns the collected metrics plus the final clock.
+func streamRun(t *testing.T, shards, n int) ([]RequestMetrics, float64) {
+	t.Helper()
+	hw, w := shardTestWorkload(t)
+	pb := placement.ParallelBatch{M: 2}
+	pr, err := pb.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(hw, pr, Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	stream, err := workload.NewRequestStream(w, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []RequestMetrics
+	i := 0
+	err = s.SubmitStream(
+		func() *model.Request {
+			if i >= n {
+				return nil
+			}
+			i++
+			return stream.Next()
+		},
+		func(m RequestMetrics) error {
+			ms = append(ms, m)
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms, s.Now()
+}
+
+// TestSubmitStreamMatchesSubmit is the pipeline half of the determinism
+// contract: SubmitStream must produce bit-identical per-request metrics
+// and final clock to a plain Submit loop, at every shard count — the
+// plan-ahead phase is a pure function of the placement, so overlapping it
+// with the previous request's event phase cannot change anything.
+func TestSubmitStreamMatchesSubmit(t *testing.T) {
+	hw, w := shardTestWorkload(t)
+	const n = 60
+	base := shardedRun(t, hw, w, 0)
+	for _, shards := range []int{0, 1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ms, now := streamRun(t, shards, n)
+			if len(ms) != len(base.metrics) {
+				t.Fatalf("stream returned %d metrics, want %d", len(ms), len(base.metrics))
+			}
+			for i := range ms {
+				if ms[i] != base.metrics[i] {
+					t.Fatalf("request %d metrics diverge:\n  submit %+v\n  stream %+v",
+						i, base.metrics[i], ms[i])
+				}
+			}
+			if now != base.now {
+				t.Fatalf("final clock %v, want %v", now, base.now)
+			}
+		})
+	}
+}
+
+// TestSubmitStreamEmpty checks an immediately-exhausted stream is a no-op.
+func TestSubmitStreamEmpty(t *testing.T) {
+	hw, w := shardTestWorkload(t)
+	pb := placement.ParallelBatch{M: 2}
+	pr, err := pb.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(hw, pr, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SubmitStream(func() *model.Request { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock advanced to %v on an empty stream", s.Now())
+	}
+}
+
+// TestSubmitStreamErrors checks both error routes: a bad request surfaces
+// its grouping error in submission order, and a callback error stops the
+// stream; afterwards the system keeps working.
+func TestSubmitStreamErrors(t *testing.T) {
+	hw, w := shardTestWorkload(t)
+	pb := placement.ParallelBatch{M: 2}
+	pr, err := pb.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(hw, pr, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	stream, err := workload.NewRequestStream(w, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Route 1: request 2 of the stream asks for an object the placement
+	// has never seen; requests 0 and 1 must still deliver metrics first.
+	bad := &model.Request{ID: 999, Objects: []model.ObjectID{1 << 30}}
+	i, delivered := 0, 0
+	err = s.SubmitStream(
+		func() *model.Request {
+			defer func() { i++ }()
+			switch i {
+			case 2:
+				return bad
+			case 3, 4:
+				return stream.Next() // queued behind the failure, never runs
+			}
+			if i > 4 {
+				return nil
+			}
+			return stream.Next()
+		},
+		func(m RequestMetrics) error { delivered++; return nil },
+	)
+	if err == nil {
+		t.Fatal("bad request did not surface an error")
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d metrics before the failure, want 2", delivered)
+	}
+
+	// Route 2: the callback aborts the stream.
+	stop := errors.New("enough")
+	err = s.SubmitStream(
+		func() *model.Request { return stream.Next() },
+		func(m RequestMetrics) error { return stop },
+	)
+	if !errors.Is(err, stop) {
+		t.Fatalf("callback error = %v, want %v", err, stop)
+	}
+
+	// The system stays usable after both failures.
+	if _, err := s.Submit(stream.Next()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitGoroutines polls until the process goroutine count drops back to at
+// most want, failing the test after a generous deadline.
+func waitGoroutines(t *testing.T, want int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d goroutines still running, want <= %d",
+				what, runtime.NumGoroutine(), want)
+		}
+		runtime.GC()
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCloseReleasesWorkers checks the explicit lifecycle: Close tears down
+// the executor workers and the pipeline worker, is idempotent, and leaves
+// a fully usable — now sequential — system behind, with identical results.
+func TestCloseReleasesWorkers(t *testing.T) {
+	hw, w := shardTestWorkload(t)
+	pb := placement.ParallelBatch{M: 2}
+	pr, err := pb.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	s, err := NewWithOptions(hw, pr, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []RequestMetrics {
+		stream, err := workload.NewRequestStream(w, rng.New(23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []RequestMetrics
+		i := 0
+		err = s.SubmitStream(
+			func() *model.Request {
+				if i >= 20 {
+					return nil
+				}
+				i++
+				return stream.Next()
+			},
+			func(m RequestMetrics) error { out = append(out, m); return nil },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	open := run()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	waitGoroutines(t, before, "after Close")
+	if err := s.Reset(pr); err != nil {
+		t.Fatal(err)
+	}
+	closed := run() // sequential fallback + inline prep
+	for i := range open {
+		if open[i] != closed[i] {
+			t.Fatalf("request %d diverges after Close:\n  open   %+v\n  closed %+v",
+				i, open[i], closed[i])
+		}
+	}
+}
+
+// TestFinalizerReleasesWorkers checks the safety net: a sharded, streamed
+// system that is dropped without Close has its executor and pipeline
+// goroutines reclaimed by the GC cleanup (runtime.AddCleanup — chosen over
+// SetFinalizer, which never fires for cyclic structures like System ↔
+// shard) once the System is collected.
+func TestFinalizerReleasesWorkers(t *testing.T) {
+	hw, w := shardTestWorkload(t)
+	pb := placement.ParallelBatch{M: 2}
+	pr, err := pb.Place(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	func() {
+		s, err := NewWithOptions(hw, pr, Options{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := workload.NewRequestStream(w, rng.New(23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		err = s.SubmitStream(func() *model.Request {
+			if i >= 10 {
+				return nil
+			}
+			i++
+			return stream.Next()
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// s goes out of scope here without Close.
+	}()
+	waitGoroutines(t, before, "after dropping the system")
+}

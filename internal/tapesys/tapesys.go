@@ -26,16 +26,38 @@
 //
 // The libraries of one System are partitioned into shards (Options.Shards),
 // each owning its own sim.Engine, robot Resources, and scratch arenas. A
-// request's per-library operation chains are forked onto the shards, each
-// shard's event loop runs to local quiescence, and Submit joins at the
+// request's per-library operation chains are dispatched onto the shards,
+// each shard's event loop runs to local quiescence, and Submit joins at the
 // request boundary with a deterministic reduction: the completion time is
 // the maximum over shards, per-drive accounting merges in fixed (library,
 // drive) order, and every floating-point sum runs in the same order as the
 // single-engine path — so metrics, reports, and exhibit tables are
 // byte-identical for any shard count. Shards ≤ 1 (the default) runs the
 // single engine inline on the calling goroutine with no synchronization at
-// all; see docs/ARCHITECTURE.md for the contract and docs/PERFORMANCE.md
-// for when sharding pays.
+// all.
+//
+// Busy shards run on a persistent executor (sim.Pool): one long-lived
+// worker goroutine per extra shard is spawned at New and woken per request
+// with an atomic-epoch park/wake handoff, so the sharded path spawns no
+// goroutines per request and, like the inline path, allocates nothing in
+// steady state. The workers are torn down by Close (or by a finalizer when
+// a System is dropped without it). On a single-CPU runtime Submit instead
+// runs the busy shards sequentially on the calling goroutine — engines are
+// independent between joins, so results are byte-identical either way and
+// no handoff latency is paid where no parallelism is possible. See
+// docs/ARCHITECTURE.md for the contract and docs/PERFORMANCE.md for when
+// sharding pays.
+//
+// # Streaming and plan-ahead
+//
+// SubmitStream accepts a request stream and overlaps the CPU-side phase of
+// request k+1 — catalog.Grouper grouping and tape.Planner read planning,
+// which read only the immutable placement — with the event-driven phase of
+// request k, on one dedicated plan worker. Precomputed read plans are used
+// only where the live run would compute the identical plan (a freshly
+// mounted cartridge, head at beginning-of-tape), so streamed results are
+// byte-identical to a Submit loop; see stream.go and the pipeline
+// determinism argument in docs/ARCHITECTURE.md.
 //
 // # Observability
 //
@@ -65,15 +87,17 @@
 // their backing arrays, and the serve/switch continuations are pooled
 // objects whose closures are created once. In steady state (no recorder,
 // scratch grown to the workload's high-water mark) the single-engine path
-// (Shards ≤ 1) performs no heap allocations; the sharded path additionally
-// spawns one goroutine per busy shard per request.
+// (Shards ≤ 1) performs no heap allocations, and so does the sharded path:
+// handing a busy shard to its persistent executor is an atomic epoch bump
+// (or a reused channel token when the worker parked), not a goroutine
+// spawn.
 package tapesys
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"slices"
-	"sync"
 
 	"paralleltape/internal/catalog"
 	"paralleltape/internal/faults"
@@ -254,16 +278,42 @@ type System struct {
 	grouper     *catalog.Grouper
 	curReq      int64
 	curMet      RequestMetrics
-	acct        []driveAcct           // dense, indexed by drive.gidx
-	pending     [][]catalog.TapeGroup // per-library offline-group queues
-	pendHead    []int                 // consumption cursor per library
-	retryQ      [][]retryEntry        // per-library queues of ready retried groups
-	retryHead   []int                 // consumption cursor per library
-	repairArmed []bool                // per-library: a repair wakeup event is scheduled
+	acct        []driveAcct      // dense, indexed by drive.gidx
+	pending     [][]pendingGroup // per-library offline-group queues
+	pendHead    []int            // consumption cursor per library
+	retryQ      [][]retryEntry   // per-library queues of ready retried groups
+	retryHead   []int            // consumption cursor per library
+	repairArmed []bool           // per-library: a repair wakeup event is scheduled
 	mountedSvc  []mountedService
 	eligible    []*drive
 	victimCmp   func(a, b *drive) int
-	wg          sync.WaitGroup
+
+	// exec is the persistent shard executor (len(shards)-1 workers), nil
+	// on single-shard systems and after Close; Submit falls back to
+	// running busy shards sequentially — byte-identical, see the package
+	// comment — when it is gone.
+	exec *sim.Pool
+	// preps and pipe are the plan-ahead pipeline's double buffer and
+	// worker (stream.go); both are created lazily by SubmitStream.
+	preps [2]*prepared
+	pipe  *planPipe
+	// cleanup releases exec and pipe when a System is dropped without
+	// Close (armCleanup); cleanupSet says it is armed.
+	cleanup    runtime.Cleanup
+	cleanupSet bool
+	closed     bool
+}
+
+// pendingGroup is one offline tape group queued for a switch drive,
+// optionally carrying a read plan precomputed by the plan-ahead pipeline.
+// A precomputed plan is valid only for a freshly mounted cartridge (head
+// at beginning-of-tape) — exactly the state afterLoad serves from — and
+// is identical to what serve would compute live, so carrying it changes
+// no simulated result.
+type pendingGroup struct {
+	g       catalog.TapeGroup
+	plan    tape.ReadPlan
+	planned bool
 }
 
 // New builds a system in the placement's initial state with the paper's
@@ -325,8 +375,15 @@ func NewWithOptions(hw tape.Hardware, pl *placement.Result, opts Options) (*Syst
 		s.libs = append(s.libs, l)
 		sh.libs = append(sh.libs, l)
 	}
+	if nshards > 1 {
+		// Persistent shard executor: one long-lived worker per shard beyond
+		// the one Submit runs inline. The GC cleanup stops the workers if
+		// the owner drops the System without calling Close.
+		s.exec = sim.NewPool(nshards - 1)
+		s.armCleanup()
+	}
 	s.acct = make([]driveAcct, hw.Libraries*hw.DrivesPerLib)
-	s.pending = make([][]catalog.TapeGroup, hw.Libraries)
+	s.pending = make([][]pendingGroup, hw.Libraries)
 	s.pendHead = make([]int, hw.Libraries)
 	s.retryQ = make([][]retryEntry, hw.Libraries)
 	s.retryHead = make([]int, hw.Libraries)
@@ -588,6 +645,10 @@ type switchOp struct {
 	// (recovery.go); carried through to the serve so a retried group keeps
 	// its retry budget.
 	attempts int
+	// plan/planned carry a beginning-of-tape read plan precomputed by the
+	// plan-ahead pipeline (pendingGroup) through to the serve.
+	plan    tape.ReadPlan
+	planned bool
 }
 
 // Switch-chain stage tags: the event a switchOp schedules carries the tag
@@ -631,6 +692,8 @@ func (sh *shard) putSwitchOp(op *switchOp) {
 	op.l = nil
 	op.g = catalog.TapeGroup{}
 	op.grant = nil
+	op.plan = tape.ReadPlan{}
+	op.planned = false
 	sh.switchPool = append(sh.switchPool, op)
 }
 
@@ -709,6 +772,7 @@ func (op *switchOp) afterLoad() {
 	}
 	sh, d, g := op.sh, op.d, op.g
 	switchBegin, attempts, span := op.switchBegin, op.attempts, op.span
+	plan, planned := op.plan, op.planned
 	sh.putSwitchOp(op)
 	d.mounted = g.Tape.Index
 	d.headPos = 0
@@ -716,19 +780,28 @@ func (op *switchOp) afterLoad() {
 	d.switchSeconds += sh.eng.Now() - switchBegin
 	sh.emit(trace.Event{Kind: trace.KindMounted, Lib: d.lib, Drive: d.idx, Tape: g.Tape.Index,
 		Req: sh.sys.curReq, Span: span, Dur: sh.eng.Now() - switchBegin})
-	sh.serve(d, g, attempts)
+	sh.serve(d, g, attempts, plan, planned)
 }
 
 // serve schedules the seek+transfer span for group g on drive d. attempts
 // is the group's prior fault-interrupted dispatch count (0 on the healthy
-// path). With an injector attached the span may be cut short by a
-// scheduled drive failure or a media error (armServeFaults); the emitted
-// seek/transfer events always carry the full planned spans.
-func (sh *shard) serve(d *drive, g catalog.TapeGroup, attempts int) {
+// path). plan, when planned is true, is a beginning-of-tape read plan the
+// plan-ahead pipeline precomputed for g; it is used only when the head is
+// actually at BOT (always true after a switch mount), otherwise — and on
+// the live-planned path — the plan is computed here from the current head
+// position. tape.Planner.PlanRates is deterministic, so the two routes
+// produce bit-identical plans. With an injector attached the span may be
+// cut short by a scheduled drive failure or a media error (armServeFaults);
+// the emitted seek/transfer events always carry the full planned spans.
+func (sh *shard) serve(d *drive, g catalog.TapeGroup, attempts int, plan tape.ReadPlan, planned bool) {
 	op := sh.getServeOp()
 	op.d = d
 	op.g = g
-	op.plan = sh.planner.PlanRates(sh.sys.locateRate, sh.sys.hw.TransferRate, d.headPos, g.Extents)
+	if planned && d.headPos == 0 {
+		op.plan = plan
+	} else {
+		op.plan = sh.planner.PlanRates(sh.sys.locateRate, sh.sys.hw.TransferRate, d.headPos, g.Extents)
+	}
 	op.mode = serveOK
 	op.start = sh.eng.Now()
 	op.attempts = attempts
@@ -750,15 +823,18 @@ func (sh *shard) serve(d *drive, g catalog.TapeGroup, attempts int) {
 }
 
 // startSwitch begins the rewind → robot → load pipeline moving drive d to
-// the cartridge of group g. attempts is the group's prior
+// the cartridge of group pg.g. attempts is the group's prior
 // fault-interrupted dispatch count (0 on the healthy path).
-func (sh *shard) startSwitch(d *drive, g catalog.TapeGroup, attempts int) {
+func (sh *shard) startSwitch(d *drive, pg pendingGroup, attempts int) {
+	g := pg.g
 	sh.switches++
 	sh.totalSwitches++
 	op := sh.getSwitchOp()
 	op.d = d
 	op.l = sh.sys.libs[d.lib]
 	op.g = g
+	op.plan = pg.plan
+	op.planned = pg.planned
 	op.attempts = attempts
 	op.switchBegin = sh.eng.Now()
 	op.span = d.nextSpan()
@@ -777,14 +853,14 @@ func (sh *shard) startSwitch(d *drive, g catalog.TapeGroup, attempts int) {
 
 // takePending pops the next offline group for a library. Only the shard
 // owning the library consumes its queue, so the cursor needs no locking.
-func (sh *shard) takePending(lib int) (catalog.TapeGroup, bool) {
+func (sh *shard) takePending(lib int) (pendingGroup, bool) {
 	s := sh.sys
 	if s.pendHead[lib] >= len(s.pending[lib]) {
-		return catalog.TapeGroup{}, false
+		return pendingGroup{}, false
 	}
-	g := s.pending[lib][s.pendHead[lib]]
+	pg := s.pending[lib][s.pendHead[lib]]
 	s.pendHead[lib]++
-	return g, true
+	return pg, true
 }
 
 // afterService decides a drive's next move once it finishes a tape. With
@@ -844,6 +920,14 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	if err != nil {
 		return RequestMetrics{}, err
 	}
+	return s.submitGrouped(r, groups, nil)
+}
+
+// submitGrouped is Submit after grouping. plans, when non-nil, carries one
+// precomputed beginning-of-tape read plan per group (same order as groups)
+// from the plan-ahead pipeline; nil means plans are computed live at serve
+// time. Either way the simulated results are identical — see stream.go.
+func (s *System) submitGrouped(r *model.Request, groups []catalog.TapeGroup, plans []tape.ReadPlan) (RequestMetrics, error) {
 	// Shard clocks are synchronized at every request boundary, so any
 	// shard's clock is the submission instant.
 	t0 := s.shards[0].eng.Now()
@@ -880,15 +964,21 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	}
 	var mountedBytes int64
 	mounted := s.mountedSvc[:0]
-	for _, g := range groups {
+	for i, g := range groups {
 		met.Bytes += g.Bytes
 		l := s.libs[g.Tape.Library]
 		l.sh.groups++
 		if d := l.driveWithTape(g.Tape.Index); d != nil {
+			// Mounted services seek from the live head position, so a
+			// beginning-of-tape plan does not apply; serve computes theirs.
 			mounted = append(mounted, mountedService{d: d, g: g})
 			mountedBytes += g.Bytes
 		} else {
-			s.pending[g.Tape.Library] = append(s.pending[g.Tape.Library], g)
+			pg := pendingGroup{g: g}
+			if plans != nil {
+				pg.plan, pg.planned = plans[i], true
+			}
+			s.pending[g.Tape.Library] = append(s.pending[g.Tape.Library], pg)
 		}
 	}
 	s.mountedSvc = mounted
@@ -930,12 +1020,12 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 		slices.SortFunc(eligible, s.victimCmp)
 		sh := s.libs[lib].sh
 		for _, d := range eligible {
-			g, ok := sh.takePending(lib)
+			pg, ok := sh.takePending(lib)
 			if !ok {
 				break
 			}
 			d.claimed = true
-			sh.startSwitch(d, g, 0)
+			sh.startSwitch(d, pg, 0)
 		}
 		if s.pendHead[lib] < len(s.pending[lib]) {
 			// Remaining groups wait for serving drives to free up; require
@@ -962,7 +1052,7 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	// Kick off mounted services after switch dispatch so the claimed marks
 	// were complete; simulated start time is identical (same instant).
 	for _, ms := range mounted {
-		s.libs[ms.d.lib].sh.serve(ms.d, ms.g, 0)
+		s.libs[ms.d.lib].sh.serve(ms.d, ms.g, 0, tape.ReadPlan{}, false)
 	}
 
 	// Arm the request latches and run each busy shard's event loop to
@@ -973,9 +1063,22 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 	}
 	if len(s.shards) == 1 {
 		s.shards[0].eng.Run()
+	} else if s.exec == nil || runtime.GOMAXPROCS(0) == 1 {
+		// Sequential fallback: after Close, or when the runtime owns a
+		// single CPU (parallel handoff would only ping-pong the one P).
+		// Shard engines share no mutable state between joins, so running
+		// them back-to-back on the caller is byte-identical to the
+		// parallel run.
+		for _, sh := range s.shards {
+			if sh.eng.Pending() > 0 {
+				sh.eng.Run()
+			}
+		}
 	} else {
-		// Fork: run the first busy shard inline on the caller, the rest on
-		// goroutines; join before touching any shared state again.
+		// Hand every busy shard but one to the persistent executor, run
+		// that one inline on the caller, and join before touching any
+		// shared state again. Steady state this path allocates nothing:
+		// the handoff is an atomic epoch bump (sim.Pool).
 		inline := -1
 		for i, sh := range s.shards {
 			if sh.eng.Pending() == 0 {
@@ -985,16 +1088,12 @@ func (s *System) Submit(r *model.Request) (RequestMetrics, error) {
 				inline = i
 				continue
 			}
-			s.wg.Add(1)
-			go func(sh *shard) {
-				defer s.wg.Done()
-				sh.eng.Run()
-			}(sh)
+			s.exec.Go(sh.eng)
 		}
 		if inline >= 0 {
 			s.shards[inline].eng.Run()
 		}
-		s.wg.Wait()
+		s.exec.Wait()
 	}
 
 	// Join: the request completes at the latest shard-local instant;

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLockedConcurrentEmit hammers one Locked recorder from several
+// goroutines — the shape of the sharded simulator's persistent shard
+// workers all emitting into a single stream — and checks under the race
+// detector that every event lands exactly once.
+func TestLockedConcurrentEmit(t *testing.T) {
+	buf := NewBuffer(0)
+	l := NewLocked(buf)
+	const workers = 4
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				l.Record(Event{Kind: KindServeEnd, Lib: w, Drive: i, Req: int64(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := buf.Len(); got != workers*perWorker {
+		t.Fatalf("recorded %d events, want %d", got, workers*perWorker)
+	}
+	perLib := make([]int, workers)
+	for _, ev := range buf.Events {
+		perLib[ev.Lib]++
+	}
+	for w, n := range perLib {
+		if n != perWorker {
+			t.Fatalf("worker %d recorded %d events, want %d", w, n, perWorker)
+		}
+	}
+}
+
+// TestLockedEmitWithMidRunReset models the simulator's request cycle with
+// persistent shard workers: phases of concurrent emits through a Locked,
+// separated by barriers at which the coordinator resets the underlying
+// buffer (exactly what System.Reset does between requests, when no shard
+// worker is running). The race detector checks the barrier + mutex
+// combination establishes the needed happens-before edges in both
+// directions — emits before the reset, reset before the next emits.
+func TestLockedEmitWithMidRunReset(t *testing.T) {
+	buf := NewBuffer(0)
+	l := NewLocked(buf)
+	if l.Unwrap() != Recorder(buf) {
+		t.Fatal("Unwrap did not return the wrapped recorder")
+	}
+	const workers = 4
+	const phases = 50
+	const perPhase = 100
+
+	start := make([]chan struct{}, phases)
+	for p := range start {
+		start[p] = make(chan struct{})
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				<-start[p]
+				for i := 0; i < perPhase; i++ {
+					l.Record(Event{Kind: KindRobot, Lib: w, Drive: p, Queue: i})
+				}
+				done <- struct{}{}
+			}
+		}(w)
+	}
+	for p := 0; p < phases; p++ {
+		close(start[p]) // release the phase
+		for w := 0; w < workers; w++ {
+			<-done // barrier: all workers finished emitting
+		}
+		if got := buf.Len(); got != workers*perPhase {
+			t.Fatalf("phase %d recorded %d events, want %d", p, got, workers*perPhase)
+		}
+		buf.Reset() // mid-run reset with no emitter running
+		if buf.Len() != 0 {
+			t.Fatalf("phase %d: buffer not empty after Reset", p)
+		}
+	}
+	wg.Wait()
+}
